@@ -1,0 +1,251 @@
+(* lbq — command-line front end.
+
+     lbq demo      one protocol round over a synthetic city
+     lbq walk      repeated rounds along a random walk
+     lbq groupgen  generate fresh Schnorr group parameters
+     lbq inspect   show a parameter preset and its derived sizes
+
+   Every command is deterministic given --seed. *)
+
+open Cmdliner
+open Lbq_geo
+open Lbq_core
+module Schnorr = Lbq_group.Schnorr
+module Drbg = Lbq_crypto.Drbg
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt string "lbq-cli" & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Deterministic seed for all randomness.")
+
+let preset_arg =
+  let presets = [ "test", `Test; "mid", `Mid; "paper", `Paper ] in
+  Arg.(value & opt (enum presets) `Test & info [ "preset" ] ~docv:"PRESET"
+         ~doc:"Parameter preset: $(b,test) (fast), $(b,mid), or $(b,paper) \
+               (the paper's 1024-bit setting; slow).")
+
+let params_of_preset ~seed = function
+  | `Test -> Params.test ~seed ()
+  | `Mid -> Params.mid ~seed ()
+  | `Paper -> Params.paper ~seed ()
+
+let db_arg =
+  Arg.(value & opt (some file) None & info [ "db" ] ~docv:"FILE"
+         ~doc:"Load the POI database from a file written by $(b,gen-city) \
+               instead of synthesising one.")
+
+(* A city sized to the preset, thinned to its rmax budget. *)
+let build_city ?db ~seed (params : Params.t) =
+  let side = 1000. *. float_of_int params.Params.private_cols in
+  let area =
+    Coord.Rect.make ~min:(Coord.make ~x:0. ~y:0.)
+      ~max:(Coord.make ~x:side ~y:side)
+  in
+  let raw =
+    match db with
+    | Some path ->
+      List.filter
+        (fun p -> Coord.Rect.contains area (Poi.position p))
+        (Poi_file.load path)
+    | None ->
+      Synth.generate ~seed
+        (Synth.city ~side ~count:(Params.private_cells params * 6) ~clusters:3 ())
+  in
+  let q =
+    Grid.lattice ~area ~rows:params.Params.private_rows
+      ~cols:params.Params.private_cols
+  in
+  let counts = Hashtbl.create 32 in
+  let pois =
+    List.filter
+      (fun p ->
+        let c = Grid.cell_of_coord q (Poi.position p) in
+        let k = (c.Grid.row * params.Params.private_cols) + c.Grid.col in
+        let seen = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+        if seen < params.Params.rmax then begin
+          Hashtbl.replace counts k (seen + 1);
+          true
+        end
+        else false)
+      raw
+  in
+  area, pois
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let demo preset seed db x y =
+  let params = params_of_preset ~seed:(seed ^ "-params") preset in
+  let area, pois = build_city ?db ~seed params in
+  Format.printf "Initialising server over %d POIs ...@." (List.length pois);
+  let server = Server.create params ~area pois in
+  let client = Client.create ~seed:(seed ^ "-user") (Server.public_info server) in
+  let side = Coord.Rect.width area in
+  let position =
+    Coord.make
+      ~x:(Float.min (Float.max x 0.) side)
+      ~y:(Float.min (Float.max y 0.) side)
+  in
+  Format.printf "User at %a.@.@." Coord.pp position;
+  let result = Protocol.run_round client server ~position in
+  Format.printf "%a@.@." Protocol.pp_transcript result.Protocol.transcript;
+  Format.printf "Cell %d returned %d record(s):@."
+    (Client.credential_idq result.Protocol.credential)
+    (List.length result.Protocol.pois);
+  List.iter (fun p -> Format.printf "  %a@." Poi.pp p) result.Protocol.pois;
+  `Ok ()
+
+let demo_cmd =
+  let x = Arg.(value & opt float 1234. & info [ "x" ] ~doc:"User x (metres).") in
+  let y = Arg.(value & opt float 2345. & info [ "y" ] ~doc:"User y (metres).") in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run one protocol round over a synthetic city.")
+    Term.(ret (const demo $ preset_arg $ seed_arg $ db_arg $ x $ y))
+
+(* ------------------------------------------------------------------ *)
+(* walk                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let walk preset seed db steps =
+  if steps <= 0 then `Error (false, "--steps must be positive")
+  else begin
+    let params = params_of_preset ~seed:(seed ^ "-params") preset in
+    let area, pois = build_city ?db ~seed params in
+    let server = Server.create params ~area pois in
+    let client = Client.create ~seed:(seed ^ "-user") (Server.public_info server) in
+    let path =
+      Synth.walk ~seed:(seed ^ "-walk") ~area ~steps
+        ~stride:(Coord.Rect.width area /. 8.) ()
+    in
+    List.iteri
+      (fun i position ->
+        let result = Protocol.run_round client server ~position in
+        match Nn.nearest ~from:position result.Protocol.pois with
+        | Some p ->
+          Format.printf "step %2d %a: nearest %a (%.0f m)@." i Coord.pp position
+            Poi.pp p
+            (Coord.distance position (Poi.position p))
+        | None ->
+          Format.printf "step %2d %a: cell empty@." i Coord.pp position)
+      path;
+    `Ok ()
+  end
+
+let walk_cmd =
+  let steps =
+    Arg.(value & opt int 5 & info [ "steps" ] ~doc:"Number of walk steps.")
+  in
+  Cmd.v
+    (Cmd.info "walk" ~doc:"Repeated private queries along a random walk.")
+    Term.(ret (const walk $ preset_arg $ seed_arg $ db_arg $ steps))
+
+(* ------------------------------------------------------------------ *)
+(* gen-city                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_city seed out side count clusters =
+  if side <= 0. || count <= 0 then `Error (false, "bad --side/--count")
+  else begin
+    let pois = Synth.generate ~seed (Synth.city ~side ~count ~clusters ()) in
+    Poi_file.save out pois;
+    Format.printf "wrote %d POIs over a %.0f m square to %s@."
+      (List.length pois) side out;
+    `Ok ()
+  end
+
+let gen_city_cmd =
+  let out =
+    Arg.(value & opt string "city.poi" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Output file.")
+  in
+  let side =
+    Arg.(value & opt float 3000. & info [ "side" ] ~doc:"City side (metres).")
+  in
+  let count =
+    Arg.(value & opt int 200 & info [ "count" ] ~doc:"Number of POIs.")
+  in
+  let clusters =
+    Arg.(value & opt int 4 & info [ "clusters" ] ~doc:"Dense centres.")
+  in
+  Cmd.v
+    (Cmd.info "gen-city" ~doc:"Generate a synthetic POI database file.")
+    Term.(ret (const gen_city $ seed_arg $ out $ side $ count $ clusters))
+
+(* ------------------------------------------------------------------ *)
+(* groupgen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let groupgen seed p_bits q_bits =
+  if q_bits + 2 > p_bits then `Error (false, "q-bits must be < p-bits - 1")
+  else begin
+    let drbg = Drbg.create ~domain:"groupgen" ~seed () in
+    let g = Schnorr.generate ~p_bits ~q_bits (Drbg.rand drbg) in
+    Format.printf "p = %s@." (Lbq_bignum.Z.to_hex (Schnorr.p g));
+    Format.printf "q = %s@." (Lbq_bignum.Z.to_hex (Schnorr.q g));
+    Format.printf "g = %s@." (Lbq_bignum.Z.to_hex (Schnorr.g g));
+    `Ok ()
+  end
+
+let groupgen_cmd =
+  let p_bits =
+    Arg.(value & opt int 512 & info [ "p-bits" ] ~doc:"Modulus width in bits.")
+  in
+  let q_bits =
+    Arg.(value & opt int 160 & info [ "q-bits" ]
+           ~doc:"Subgroup order width in bits.")
+  in
+  Cmd.v
+    (Cmd.info "groupgen"
+       ~doc:"Generate fresh Schnorr group parameters (prints hex).")
+    Term.(ret (const groupgen $ seed_arg $ p_bits $ q_bits))
+
+(* ------------------------------------------------------------------ *)
+(* inspect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let inspect preset =
+  let params = params_of_preset ~seed:"inspect" preset in
+  Format.printf "%a@.@." Params.pp params;
+  Format.printf "derived:@.";
+  Format.printf "  private cells:        %d@." (Params.private_cells params);
+  Format.printf "  public cells:         %d@." (Params.public_cells params);
+  Format.printf "  cell ciphertext:      %d B@." (Params.cell_cipher_bytes params);
+  Format.printf "  PIR block capacity:   %d bits@." (Params.block_bits params);
+  let plan =
+    Lbq_pir.Gr.make_plan ~count:(Params.private_cells params)
+      ~block_bits:(Params.block_bits params) ()
+  in
+  let first = Lbq_pir.Gr.plan_slot plan 0 in
+  let last = Lbq_pir.Gr.plan_slot plan (Lbq_pir.Gr.plan_size plan - 1) in
+  Format.printf "  PIR plan:             %s^%d ... %s^%d@."
+    (Lbq_bignum.Z.to_string first.Lbq_pir.Gr.p) first.Lbq_pir.Gr.c
+    (Lbq_bignum.Z.to_string last.Lbq_pir.Gr.p) last.Lbq_pir.Gr.c;
+  let e_bits =
+    List.init (Lbq_pir.Gr.plan_size plan) (fun i ->
+        Lbq_bignum.Z.numbits (Lbq_pir.Gr.plan_slot plan i).Lbq_pir.Gr.pi)
+    |> List.fold_left ( + ) 0
+  in
+  Format.printf "  |e| upper bound:      %d bits@." e_bits;
+  `Ok ()
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show a parameter preset and derived sizes.")
+    Term.(ret (const inspect $ preset_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "lbq" ~version:"1.0.0"
+      ~doc:"Privacy-preserving and content-protecting location based queries \
+            (ICDE 2012 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ demo_cmd; walk_cmd; gen_city_cmd; groupgen_cmd; inspect_cmd ]))

@@ -1,0 +1,1 @@
+examples/comparison.ml: Client Coord Format Lbq_baseline Lbq_core Lbq_geo Lbq_group Lbq_metrics List Params Poi Printf Protocol Server Unix

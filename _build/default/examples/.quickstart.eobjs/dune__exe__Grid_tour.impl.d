@@ -1,0 +1,1 @@
+examples/grid_tour.ml: Array Coord Format Grid Lbq_core Lbq_geo Lbq_group Params Server String Synth

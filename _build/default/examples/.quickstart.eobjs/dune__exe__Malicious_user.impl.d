@@ -1,0 +1,1 @@
+examples/malicious_user.ml: Cellcrypt Client Coord Format Grid Lbq_bignum Lbq_core Lbq_crypto Lbq_geo Lbq_ot Lbq_pir List Params Poi Printf Server String Z

@@ -1,0 +1,1 @@
+examples/malicious_user.mli:

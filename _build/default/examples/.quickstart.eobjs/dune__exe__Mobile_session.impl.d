@@ -1,0 +1,1 @@
+examples/mobile_session.ml: Client Coord Format Frame Lbq_core Lbq_geo Lbq_net Link List Params Poi Printf Protocol Relay Server Session String

@@ -1,0 +1,1 @@
+examples/nearest_cafe.ml: Client Coord Format Grid Hashtbl Lbq_core Lbq_geo Lbq_group List Nn Option Params Poi Protocol Server Synth

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Client Coord Format Grid Lbq_core Lbq_geo List Nn Params Poi Printf Protocol Server

@@ -1,0 +1,1 @@
+examples/table_audit.ml: Audit Coord Format Lbq_core Lbq_crypto Lbq_geo List Params Poi Printf Server

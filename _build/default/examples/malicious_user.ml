@@ -1,0 +1,97 @@
+(* Content protection demo (server security, §IV-B): a cheating user tries
+   to read more than the one cell she paid for, in the two ways the paper
+   considers, and fails both times.
+
+     dune exec examples/malicious_user.exe *)
+
+open Lbq_bignum
+open Lbq_geo
+open Lbq_core
+module Ot = Lbq_ot.Ot
+module Gr = Lbq_pir.Gr
+
+let () =
+  Format.printf "== malicious-user: content protection in action ==@.@.";
+  let params = Params.test () in
+  let area =
+    Coord.Rect.make ~min:(Coord.make ~x:0. ~y:0.)
+      ~max:(Coord.make ~x:3000. ~y:3000.)
+  in
+  let pois =
+    List.init 9 (fun idx ->
+        let row = idx / 3 and col = idx mod 3 in
+        Poi.make ~id:idx
+          ~position:(Coord.make
+                       ~x:((float_of_int col *. 1000.) +. 500.)
+                       ~y:((float_of_int row *. 1000.) +. 500.))
+          ~category:"secret" ~name:(Printf.sprintf "asset-%02d" idx))
+  in
+  let server = Server.create params ~area pois in
+  let public = Server.public_info server in
+  let client = Client.create public in
+
+  let position = Coord.make ~x:200. ~y:200. in
+  let cell = Client.locate client position in
+  Format.printf "The user honestly queries for her cell %a.@.@."
+    Grid.pp_cell cell;
+  let st1, q1 = Client.stage1_query client cell in
+  let resp1 = Server.ot_respond server q1 in
+  let cred = Client.stage1_decode client st1 resp1 in
+  Format.printf "Stage 1 complete: credential for private cell %d.@.@."
+    (Client.credential_idq cred);
+
+  (* ---- Attack 1: decode other cells of the same OT response. -------- *)
+  Format.printf
+    "Attack 1: decode every OTHER public cell from the same OT response.@.";
+  let usable = ref 0 in
+  for i = 0 to params.Params.public_rows - 1 do
+    for j = 0 to params.Params.public_cols - 1 do
+      if not (i = cell.Grid.row && j = cell.Grid.col) then begin
+        let loot =
+          Ot.Client.decode_at st1 ~masked:public.Server.masked_table resp1 ~i ~j
+        in
+        match Server.decode_payload loot with
+        | idq, key
+          when idq >= 0 && idq < Params.private_cells params
+               && String.equal key (Server.trusted_cell_key server idq) ->
+          incr usable
+        | _ | (exception Invalid_argument _) -> ()
+      end
+    done
+  done;
+  Format.printf
+    "  %d of %d off-query decodes produced a usable credential.@.@."
+    !usable (Params.public_cells params - 1);
+
+  (* ---- Attack 2: PIR-fetch a different cell than authorised. -------- *)
+  Format.printf
+    "Attack 2: run the PIR stage for a cell the credential does not cover.@.";
+  let victim = (Client.credential_idq cred + 4) mod Params.private_cells params in
+  let drbg = Lbq_crypto.Drbg.create ~seed:"greedy" () in
+  let pir_st, (n, g) =
+    Gr.Client.query ~plan:public.Server.plan ~index:victim
+      ~q_bits:params.Params.q_bits (Lbq_crypto.Drbg.rand drbg)
+  in
+  let ge = Server.pir_respond server ~n ~g in
+  let ci = Gr.Client.decode pir_st ge in
+  Format.printf "  PIR succeeded: got the encrypted block of cell %d (PIR protects@." victim;
+  Format.printf "  the USER, not the server - so far so good for the cheater).@.";
+  let blob = Z.to_bytes_be_padded ci ~len:(Params.cell_cipher_bytes params) in
+  (match Cellcrypt.decrypt ~cell_key:(Client.credential_key cred) blob with
+   | exception Cellcrypt.Authentication_failure ->
+     Format.printf
+       "  Decryption with the stage-1 key FAILED (authentication error).@."
+   | _ -> Format.printf "  !! the block decrypted - protection broken !!@.");
+
+  (* The honest path still works, of course. *)
+  let st2, (n, g) = Client.stage2_query client cred in
+  let ge = Server.pir_respond server ~n ~g in
+  let own = Client.stage2_decode client st2 ge in
+  Format.printf
+    "@.The honest stage 2 for her own cell returns %d record(s):@."
+    (List.length own);
+  List.iter (fun p -> Format.printf "  %a@." Poi.pp p) own;
+  Format.printf
+    "@.Every cell is encrypted under its own key, and oblivious transfer hands@.";
+  Format.printf
+    "over exactly one key per round: PIR-fetching other cells yields sealed data.@."

@@ -1,0 +1,1 @@
+lib/baseline/ghinita.ml: Array Coord Float Grid Lbq_bignum Lbq_crypto Lbq_geo Lbq_group Lbq_metrics Lbq_qrpir List Paillier Poi Z

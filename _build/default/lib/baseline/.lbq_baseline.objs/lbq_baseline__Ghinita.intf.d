@@ -1,0 +1,1 @@
+lib/baseline/ghinita.mli: Coord Grid Lbq_bignum Lbq_geo Lbq_group Lbq_metrics Lbq_qrpir Paillier Poi Z

@@ -1,0 +1,1 @@
+lib/bignum/barrett.ml: Array Fun Nat Z

@@ -1,0 +1,1 @@
+lib/bignum/barrett.mli: Nat Z

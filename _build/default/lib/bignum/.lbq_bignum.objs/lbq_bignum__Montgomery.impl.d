@@ -1,0 +1,1 @@
+lib/bignum/montgomery.ml: Array Nat Z

@@ -1,0 +1,1 @@
+lib/bignum/montgomery.mli: Nat Z

@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Bytes Char List Printf Stdlib String Sys

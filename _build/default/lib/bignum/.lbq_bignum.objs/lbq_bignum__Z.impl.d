@@ -1,0 +1,1 @@
+lib/bignum/z.ml: Buffer Bytes Char Format Nat Printf Stdlib String

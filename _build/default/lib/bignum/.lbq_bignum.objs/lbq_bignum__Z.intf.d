@@ -1,0 +1,1 @@
+lib/bignum/z.mli: Format Nat

@@ -1,0 +1,106 @@
+(* Barrett modular reduction with a precomputed reciprocal.
+
+   For a fixed modulus m of k limbs, we precompute mu = floor(B^(2k) / m)
+   once; reducing any x < B^(2k) then costs two multiplications instead of a
+   full division (HAC 14.42).  This context backs all hot modular
+   exponentiation in the protocol. *)
+
+type t = {
+  modulus : Z.t;
+  m_nat : Nat.t;
+  k : int;            (* limb count of the modulus *)
+  mu : Nat.t;         (* floor(B^(2k) / m) *)
+  mutable tick : int ref option;
+    (* optional modular-multiplication counter (performance analysis) *)
+}
+
+let limb_bits = Nat.limb_bits
+
+let create modulus =
+  if Z.sign modulus <= 0 then invalid_arg "Barrett.create: modulus <= 0";
+  let m_nat = Z.to_nat modulus in
+  let k = (Nat.numbits m_nat + limb_bits - 1) / limb_bits in
+  let b2k = Nat.shift_left Nat.one (2 * k * limb_bits) in
+  let mu, _ = Nat.divmod b2k m_nat in
+  { modulus; m_nat; k; mu; tick = None }
+
+(* Attach or detach a counter incremented once per modular multiplication
+   performed through this context (including squarings inside [powm]). *)
+let set_counter t c = t.tick <- c
+
+(* Run [f] with [r] counting this context's modular multiplications. *)
+let counting t r f =
+  let saved = t.tick in
+  t.tick <- Some r;
+  Fun.protect ~finally:(fun () -> t.tick <- saved) f
+
+let modulus t = t.modulus
+
+(* Keep only the low [limbs] limbs of [a]. *)
+let truncate_limbs (a : Nat.t) (limbs : int) : Nat.t =
+  if Array.length a <= limbs then a
+  else Nat.normalize (Array.sub a 0 limbs)
+
+(* Reduce x < B^(2k) modulo m. *)
+let reduce_nat t (x : Nat.t) : Nat.t =
+  if Array.length x > 2 * t.k then
+    (* Fall back to division for oversized inputs (rare paths only). *)
+    snd (Nat.divmod x t.m_nat)
+  else begin
+    let q1 = Nat.shift_right x ((t.k - 1) * limb_bits) in
+    let q3 = Nat.shift_right (Nat.mul q1 t.mu) ((t.k + 1) * limb_bits) in
+    let r1 = truncate_limbs x (t.k + 1) in
+    (* Only the low k+1 limbs of q3 * m matter. *)
+    let r2 = Nat.mul_low q3 t.m_nat (t.k + 1) in
+    let r =
+      if Nat.compare r1 r2 >= 0 then Nat.sub r1 r2
+      else Nat.sub (Nat.add r1 (Nat.shift_left Nat.one ((t.k + 1) * limb_bits))) r2
+    in
+    (* At most two final corrections (HAC 14.42 note). *)
+    let r = if Nat.compare r t.m_nat >= 0 then Nat.sub r t.m_nat else r in
+    let r = if Nat.compare r t.m_nat >= 0 then Nat.sub r t.m_nat else r in
+    r
+  end
+
+let to_nat t z = Z.to_nat (Z.erem z t.modulus)
+let of_nat (n : Nat.t) : Z.t = Z.of_nat n
+
+let reduce t z = of_nat (reduce_nat t (to_nat t z))
+
+(* Modular multiplication of already-reduced residues. *)
+let mulmod_nat t a b =
+  (match t.tick with Some r -> incr r | None -> ());
+  reduce_nat t (Nat.mul a b)
+
+let mulmod t a b = of_nat (mulmod_nat t (to_nat t a) (to_nat t b))
+
+(* Windowed modular exponentiation (4-bit fixed window). *)
+let powm_nat t (base_ : Nat.t) (e : Z.t) : Nat.t =
+  if Z.sign e < 0 then invalid_arg "Barrett.powm: negative exponent";
+  let nb = Z.numbits e in
+  if nb = 0 then (if Nat.compare Nat.one t.m_nat < 0 then Nat.one else Nat.zero)
+  else begin
+    let window = 4 in
+    (* Precompute base^0 .. base^15. *)
+    let tbl = Array.make (1 lsl window) Nat.one in
+    tbl.(1) <- reduce_nat t base_;
+    for i = 2 to (1 lsl window) - 1 do
+      tbl.(i) <- mulmod_nat t tbl.(i - 1) tbl.(1)
+    done;
+    let nwin = (nb + window - 1) / window in
+    let r = ref Nat.one in
+    for w = nwin - 1 downto 0 do
+      for _ = 1 to window do
+        r := mulmod_nat t !r !r
+      done;
+      let nibble = ref 0 in
+      for b = window - 1 downto 0 do
+        let bit = (w * window) + b in
+        nibble := (!nibble lsl 1) lor (if bit < nb && Z.testbit e bit then 1 else 0)
+      done;
+      if !nibble <> 0 then r := mulmod_nat t !r tbl.(!nibble)
+    done;
+    !r
+  end
+
+let powm t base_ e = of_nat (powm_nat t (to_nat t base_) e)

@@ -1,0 +1,35 @@
+(** Barrett modular reduction with a precomputed reciprocal.
+
+    Create one context per modulus and reuse it: reduction then costs two
+    multiplications instead of a division.  This backs every hot modular
+    exponentiation in the protocol. *)
+
+type t
+
+(** [create m] precomputes the Barrett reciprocal for modulus [m > 0]. *)
+val create : Z.t -> t
+
+val modulus : t -> Z.t
+
+(** Attach ([Some r]) or detach ([None]) a counter incremented once per
+    modular multiplication through this context (squarings included).
+    Backs the measured column of the Table II reproduction. *)
+val set_counter : t -> int ref option -> unit
+
+(** [counting t r f] runs [f ()] with [r] attached, restoring the previous
+    counter afterwards. *)
+val counting : t -> int ref -> (unit -> 'a) -> 'a
+
+(** [reduce t x] is [x mod m] (input may be any integer). *)
+val reduce : t -> Z.t -> Z.t
+
+(** [mulmod t a b] is [a * b mod m]. *)
+val mulmod : t -> Z.t -> Z.t -> Z.t
+
+(** [powm t b e] is [b{^e} mod m] for [e >= 0] (4-bit windowed). *)
+val powm : t -> Z.t -> Z.t -> Z.t
+
+(** Limb-level variants for callers already holding residues. *)
+val reduce_nat : t -> Nat.t -> Nat.t
+val mulmod_nat : t -> Nat.t -> Nat.t -> Nat.t
+val powm_nat : t -> Nat.t -> Z.t -> Nat.t

@@ -1,0 +1,98 @@
+(* Montgomery modular arithmetic (REDC), an alternative reduction engine
+   to {!Barrett} for odd moduli.  Operands live in Montgomery form
+   (a * R mod n with R = B^k); one REDC costs one schoolbook product plus
+   one k-limb sweep, which beats Barrett's two reciprocal products on
+   exponentiation-heavy workloads.  The bench harness compares the two
+   (`bench/main.exe ablate-mulengine`). *)
+
+let limb_bits = Nat.limb_bits
+let base = Nat.base
+let mask = Nat.mask
+
+type t = {
+  modulus : Z.t;
+  n : Nat.t;          (* the modulus, k limbs, odd *)
+  k : int;
+  n' : int;           (* -n^{-1} mod B *)
+  r2 : Nat.t;         (* R^2 mod n, for conversion into Montgomery form *)
+  one_m : Nat.t;      (* R mod n = Montgomery form of 1 *)
+}
+
+(* Inverse of an odd limb modulo B, by Hensel lifting. *)
+let inv_limb (n0 : int) : int =
+  let x = ref 1 in
+  for _ = 1 to 6 do
+    x := (!x * (2 - (n0 * !x land mask))) land mask
+  done;
+  assert ((n0 * !x) land mask = 1);
+  !x
+
+let create (modulus : Z.t) : t =
+  if Z.sign modulus <= 0 then invalid_arg "Montgomery.create: modulus <= 0";
+  if Z.is_even modulus then invalid_arg "Montgomery.create: modulus must be odd";
+  let n = Z.to_nat modulus in
+  let k = Array.length n in
+  let n' = (base - inv_limb n.(0)) land mask in
+  let r = Nat.shift_left Nat.one (k * limb_bits) in
+  let r2 = snd (Nat.divmod (Nat.mul r r) n) in
+  let one_m = snd (Nat.divmod r n) in
+  { modulus; n; k; n'; r2; one_m }
+
+let modulus t = t.modulus
+
+(* REDC(T) = T * R^{-1} mod n for T < n * R: zero the low k limbs by
+   adding multiples of n, then drop them. *)
+let redc t (tt : Nat.t) : Nat.t =
+  let buf = Array.make ((2 * t.k) + 1) 0 in
+  Array.blit tt 0 buf 0 (Array.length tt);
+  for i = 0 to t.k - 1 do
+    let m = (Array.unsafe_get buf i * t.n') land mask in
+    Nat.addmul_1 buf i t.n m
+    (* buf.(i) is now 0 mod B *)
+  done;
+  let hi = Nat.normalize (Array.sub buf t.k (t.k + 1)) in
+  if Nat.compare hi t.n >= 0 then Nat.sub hi t.n else hi
+
+(* Product of two Montgomery-form residues, in Montgomery form. *)
+let mont_mul t a b = redc t (Nat.mul a b)
+
+let to_mont t (z : Z.t) : Nat.t =
+  let reduced = Z.to_nat (Z.erem z t.modulus) in
+  mont_mul t reduced t.r2
+
+let of_mont t (m : Nat.t) : Z.t = Z.of_nat (redc t m)
+
+(* Windowed modular exponentiation, mirroring {!Barrett.powm}. *)
+let powm t (base_ : Z.t) (e : Z.t) : Z.t =
+  if Z.sign e < 0 then invalid_arg "Montgomery.powm: negative exponent";
+  let nb = Z.numbits e in
+  if nb = 0 then Z.erem Z.one t.modulus
+  else begin
+    let window = 4 in
+    let bm = to_mont t base_ in
+    let tbl = Array.make (1 lsl window) t.one_m in
+    tbl.(1) <- bm;
+    for i = 2 to (1 lsl window) - 1 do
+      tbl.(i) <- mont_mul t tbl.(i - 1) bm
+    done;
+    let nwin = (nb + window - 1) / window in
+    let r = ref t.one_m in
+    for w = nwin - 1 downto 0 do
+      for _ = 1 to window do
+        r := mont_mul t !r !r
+      done;
+      let nibble = ref 0 in
+      for b = window - 1 downto 0 do
+        let bit = (w * window) + b in
+        nibble := (!nibble lsl 1) lor (if bit < nb && Z.testbit e bit then 1 else 0)
+      done;
+      if !nibble <> 0 then r := mont_mul t !r tbl.(!nibble)
+    done;
+    of_mont t !r
+  end
+
+(* Plain modular multiplication convenience (converts in and out; for a
+   single product Barrett is cheaper — this exists for completeness). *)
+let mulmod t a b =
+  let am = to_mont t a and bm = to_mont t b in
+  of_mont t (mont_mul t am bm)

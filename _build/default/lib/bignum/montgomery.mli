@@ -1,0 +1,23 @@
+(** Montgomery modular arithmetic (REDC) for odd moduli — the alternative
+    reduction engine to {!Barrett}, compared by
+    [bench/main.exe ablate-mulengine]. *)
+
+type t
+
+(** Precompute for an odd positive modulus. *)
+val create : Z.t -> t
+
+val modulus : t -> Z.t
+
+(** [powm t b e] is [b{^e} mod m] for [e >= 0] (4-bit windowed REDC). *)
+val powm : t -> Z.t -> Z.t -> Z.t
+
+(** One-shot modular product (converts in and out of Montgomery form;
+    prefer {!Barrett.mulmod} for isolated products). *)
+val mulmod : t -> Z.t -> Z.t -> Z.t
+
+(** {1 Montgomery-form internals} (exposed for tests) *)
+
+val to_mont : t -> Z.t -> Nat.t
+val of_mont : t -> Nat.t -> Z.t
+val mont_mul : t -> Nat.t -> Nat.t -> Nat.t

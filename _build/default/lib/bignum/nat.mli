@@ -1,0 +1,73 @@
+(** Low-level arbitrary-precision natural numbers.
+
+    Little-endian [int array] limbs in base [2{^26}], canonical (no trailing
+    zero limbs).  This is the mutable-buffer engine under {!Z}; application
+    code should normally use {!Z}. *)
+
+type t = int array
+
+val limb_bits : int
+val base : int
+val mask : int
+
+val zero : t
+val one : t
+val two : t
+
+val is_zero : t -> bool
+
+(** Drop trailing zero limbs. *)
+val normalize : t -> t
+
+(** Whether the value is canonical and every limb is in range (testing). *)
+val check_canonical : t -> bool
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Significant bits; 0 for zero. *)
+val numbits : t -> int
+
+val testbit : t -> int -> bool
+
+val add : t -> t -> t
+
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+val sub : t -> t -> t
+
+val add_int : t -> int -> t
+val sub_int : t -> int -> t
+
+(** [addmul_1 r off a m] adds [a * m] (single-limb [m]) into [r] starting
+    at limb [off]; [r] must be long enough for the final carry.  The
+    building block of multiplication and Montgomery's REDC sweep. *)
+val addmul_1 : int array -> int -> t -> int -> unit
+
+(** Karatsuba above an internal threshold, schoolbook below. *)
+val mul : t -> t -> t
+
+val mul_schoolbook : t -> t -> t
+
+(** [mul_low a b limbs] is [(a * b) mod base^limbs], computing only the
+    low columns (Barrett's discarded-high-half product). *)
+val mul_low : t -> t -> int -> t
+val mul_int : t -> int -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** [divmod a d] is [(q, r)] with [a = q*d + r], [0 <= r < d].
+    Raises [Division_by_zero] when [d] is zero. *)
+val divmod : t -> t -> t * t
+
+(** Division by a single limb [0 < d < base]. *)
+val divmod_1 : t -> int -> t * int
+
+val of_bytes_be : string -> t
+val to_bytes_be : t -> string
+
+val of_string : string -> t
+val to_string : t -> string

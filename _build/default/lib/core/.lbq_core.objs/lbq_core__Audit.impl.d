@@ -1,0 +1,1 @@
+lib/core/audit.ml: Array Buffer Coord Lbq_bignum Lbq_crypto Lbq_geo Lbq_group Lbq_pir List Params Printf Server String Z

@@ -1,0 +1,1 @@
+lib/core/cellcrypt.ml: Aes Bytes_util Hmac Lbq_crypto Sha256 String

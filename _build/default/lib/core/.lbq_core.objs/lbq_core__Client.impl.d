@@ -1,0 +1,1 @@
+lib/core/client.ml: Cellcrypt Coord Grid Hashtbl Lbq_bignum Lbq_crypto Lbq_geo Lbq_metrics Lbq_ot Lbq_pir List Params Poi Server Z

@@ -1,0 +1,1 @@
+lib/core/client.mli: Coord Grid Lbq_bignum Lbq_geo Lbq_metrics Lbq_ot Poi Server Z

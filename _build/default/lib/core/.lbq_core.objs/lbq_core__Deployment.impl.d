@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Coord Hashtbl Lbq_geo Lbq_metrics List Params Poi Printf Server

@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Coord Lbq_bignum Lbq_geo Lbq_metrics Params Poi Server

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Client Coord Format Lbq_geo List Params Poi Server String Wire

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Client Coord Format Lbq_geo Poi Server

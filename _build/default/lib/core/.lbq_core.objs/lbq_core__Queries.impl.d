@@ -1,0 +1,1 @@
+lib/core/queries.ml: Coord Float Grid Hashtbl Lbq_geo List Nn Params Poi Protocol Server

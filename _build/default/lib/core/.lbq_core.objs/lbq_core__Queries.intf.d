@@ -1,0 +1,1 @@
+lib/core/queries.mli: Coord Lbq_geo Poi Protocol Server

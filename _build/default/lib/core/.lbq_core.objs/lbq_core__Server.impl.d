@@ -1,0 +1,1 @@
+lib/core/server.ml: Array Cellcrypt Char Coord Grid Lbq_bignum Lbq_crypto Lbq_geo Lbq_metrics Lbq_ot Lbq_pir Params Poi String Z

@@ -1,0 +1,1 @@
+lib/core/server.mli: Coord Grid Lbq_bignum Lbq_geo Lbq_metrics Lbq_ot Lbq_pir Params Poi Z

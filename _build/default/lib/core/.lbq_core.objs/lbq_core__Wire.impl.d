@@ -1,0 +1,1 @@
+lib/core/wire.ml: Array Buffer Char Coord Elgamal Float Grid Int64 Lbq_bignum Lbq_geo Lbq_group Lbq_ot Lbq_pir Params Schnorr Server String Z

@@ -1,0 +1,1 @@
+lib/core/wire.mli: Lbq_bignum Lbq_group Lbq_ot Schnorr Server Z

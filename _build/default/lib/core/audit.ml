@@ -1,0 +1,92 @@
+(* Table-consistency audit — an extension in the direction of the paper's
+   future work ("the problem concerning the LS supplying misleading data
+   to the client is also interesting", §VII).
+
+   Threat: the protocol hides WHICH cell a user queries, but nothing in
+   the original design stops the server from publishing a DIFFERENT
+   masked table or PIR plan to different users (equivocation), or from
+   silently swapping tables between a user's stage 1 and a later round.
+
+   Mitigation: the server commits to everything a user's correctness
+   depends on — the grid geometry, every masked OT table entry, and the
+   PIR prime-power plan — as one Merkle root.  Users exchange the
+   32-byte root out of band (or pin it like a TLS key); any two users
+   holding the same root are provably being served the same table.  A
+   user can also spot-check single table entries against the root
+   without downloading the whole table. *)
+
+open Lbq_bignum
+open Lbq_geo
+module Gr = Lbq_pir.Gr
+module Merkle = Lbq_crypto.Merkle
+
+type commitment = {
+  root : string;            (* 32-byte Merkle root *)
+  rows : int;
+  cols : int;
+}
+
+(* Leaf 0: the protocol geometry and parameters.
+   Leaf 1: the PIR plan.
+   Leaves 2 ..: the masked table cells, row-major. *)
+
+let geometry_leaf (info : Server.public_info) : string =
+  let p = info.Server.params in
+  Printf.sprintf "geometry|%d|%d|%d|%d|%d|%d|%s|%f|%f|%f|%f"
+    p.Params.public_rows p.Params.public_cols p.Params.private_rows
+    p.Params.private_cols p.Params.rmax p.Params.q_bits
+    (Z.to_hex (Lbq_group.Schnorr.p p.Params.group))
+    (Coord.x (Coord.Rect.min info.Server.area))
+    (Coord.y (Coord.Rect.min info.Server.area))
+    (Coord.x (Coord.Rect.max info.Server.area))
+    (Coord.y (Coord.Rect.max info.Server.area))
+
+let plan_leaf (info : Server.public_info) : string =
+  let plan = info.Server.plan in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "plan";
+  for i = 0 to Gr.plan_size plan - 1 do
+    let s = Gr.plan_slot plan i in
+    Buffer.add_string buf
+      (Printf.sprintf "|%s^%d" (Z.to_string s.Gr.p) s.Gr.c)
+  done;
+  Buffer.contents buf
+
+let leaves (info : Server.public_info) : string list =
+  let table = info.Server.masked_table in
+  let cells =
+    Array.to_list table |> List.concat_map Array.to_list
+  in
+  geometry_leaf info :: plan_leaf info :: cells
+
+let commit (info : Server.public_info) : commitment =
+  { root = Merkle.root (leaves info);
+    rows = Array.length info.Server.masked_table;
+    cols = Array.length info.Server.masked_table.(0) }
+
+(* Full check of a downloaded public_info against a pinned root. *)
+let verify_info (c : commitment) (info : Server.public_info) : bool =
+  Array.length info.Server.masked_table = c.rows
+  && Array.length info.Server.masked_table.(0) = c.cols
+  && String.equal (Merkle.root (leaves info)) c.root
+
+(* Spot check: prove/verify one masked table cell without the rest. *)
+type cell_proof = { cell : string; proof : Merkle.proof }
+
+let prove_cell (info : Server.public_info) ~(row : int) ~(col : int)
+  : cell_proof =
+  let table = info.Server.masked_table in
+  if row < 0 || row >= Array.length table
+     || col < 0 || col >= Array.length table.(0)
+  then invalid_arg "Audit.prove_cell: out of range";
+  let index = 2 + (row * Array.length table.(0)) + col in
+  { cell = table.(row).(col); proof = Merkle.prove (leaves info) ~index }
+
+let verify_cell (c : commitment) ~(row : int) ~(col : int) (p : cell_proof)
+  : bool =
+  (* The proof must speak about the requested position, not merely about
+     *some* committed leaf. *)
+  Merkle.proof_index p.proof = 2 + (row * c.cols) + col
+  && Merkle.verify ~root:c.root ~leaf:p.cell p.proof
+
+let commitment_bytes (_ : commitment) = 32 + 8

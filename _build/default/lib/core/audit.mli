@@ -1,0 +1,30 @@
+(** Table-consistency audit (extension; §VII future work).
+
+    The server commits to everything a user's correctness depends on —
+    grid geometry, every masked OT table cell, the PIR plan — as one
+    Merkle root.  Two users holding equal roots are provably served the
+    same table (equivocation detection); a user can spot-check single
+    cells against the root without the full table. *)
+
+type commitment = {
+  root : string;   (** 32-byte Merkle root *)
+  rows : int;
+  cols : int;
+}
+
+(** Commit to a server's published information. *)
+val commit : Server.public_info -> commitment
+
+(** Full check of downloaded public info against a pinned commitment. *)
+val verify_info : commitment -> Server.public_info -> bool
+
+type cell_proof
+
+(** Inclusion proof for one masked-table cell. *)
+val prove_cell : Server.public_info -> row:int -> col:int -> cell_proof
+
+(** Checks both inclusion under the root and that the proof speaks about
+    the requested position. *)
+val verify_cell : commitment -> row:int -> col:int -> cell_proof -> bool
+
+val commitment_bytes : commitment -> int

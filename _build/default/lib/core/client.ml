@@ -1,0 +1,107 @@
+(* The querying user.  One round (Figure 2):
+
+   stage 1 — determine the public-grid cell from GPS coordinates, fetch
+   its (IDQ, k) credential by oblivious transfer;
+
+   stage 2 — fetch the encrypted block of private cell IDQ by PIR and
+   decrypt it with k.
+
+   The server never sees the cell indices; the user ends the round with
+   the POI records of exactly one private cell. *)
+
+open Lbq_bignum
+open Lbq_geo
+module Ot = Lbq_ot.Ot
+module Gr = Lbq_pir.Gr
+module Counters = Lbq_metrics.Counters
+module Drbg = Lbq_crypto.Drbg
+
+exception Protocol_error of string
+
+type t = {
+  params : Params.t;
+  public : Server.public_info;
+  rand : int -> string;
+  metrics : Counters.t;
+  pir_cache : (int, Gr.Client.state * (Z.t * Z.t)) Hashtbl.t;
+    (* per-cell phi-hiding instances, for opt-in reuse across rounds *)
+}
+
+let create ?(metrics = Counters.null) ?(seed = "lbq-user")
+    (public : Server.public_info) : t =
+  let drbg = Drbg.create ~domain:"lbq-user" ~seed () in
+  { params = public.Server.params; public; rand = Drbg.rand drbg; metrics;
+    pir_cache = Hashtbl.create 8 }
+
+(* The credential stage 1 yields: which private cell, and its key. *)
+type credential = { idq : int; cell_key : string }
+
+let credential_idq c = c.idq
+let credential_key c = c.cell_key
+
+(* Which public cell contains the user?  Purely local. *)
+let locate t (position : Coord.t) : Grid.cell =
+  Grid.cell_of_coord t.public.Server.public_grid position
+
+(* ---------------- stage 1: oblivious transfer ---------------- *)
+
+type stage1 = Ot.Client.state
+
+let stage1_query t (cell : Grid.cell) : stage1 * Ot.query =
+  Ot.Client.query ~group:t.params.Params.group ~rand:t.rand ~metrics:t.metrics
+    ~i:cell.Grid.row ~j:cell.Grid.col ()
+
+let stage1_decode t (st : stage1) (resp : Ot.response) : credential =
+  let payload =
+    Ot.Client.decode st ~masked:t.public.Server.masked_table resp
+  in
+  let idq, cell_key =
+    try Server.decode_payload payload
+    with Invalid_argument _ -> raise (Protocol_error "stage 1: bad payload")
+  in
+  if idq < 0 || idq >= Gr.plan_size t.public.Server.plan then
+    raise (Protocol_error "stage 1: cell id out of range");
+  { idq; cell_key }
+
+(* ---------------- stage 2: private information retrieval ------ *)
+
+type stage2 = { pir : Gr.Client.state; cred : credential }
+
+(* Building the phi-hiding instance (two primality searches) dominates the
+   round, and §VI notes that "using the same set-up, the user can execute
+   several more rounds very efficiently".  With [reuse:true] the instance
+   for a cell is cached and reused on later rounds for the same cell.
+   Trade-off: the server sees the same modulus N again and learns that two
+   rounds target the same (still unknown) cell — opt-in only. *)
+let stage2_query ?(reuse = false) t (cred : credential) : stage2 * (Z.t * Z.t) =
+  match if reuse then Hashtbl.find_opt t.pir_cache cred.idq else None with
+  | Some (pir, wire) -> { pir; cred }, wire
+  | None ->
+    let pir, wire =
+      Gr.Client.query ~metrics:t.metrics ~plan:t.public.Server.plan
+        ~index:cred.idq ~q_bits:t.params.Params.q_bits t.rand
+    in
+    if reuse then Hashtbl.replace t.pir_cache cred.idq (pir, wire);
+    { pir; cred }, wire
+
+(* Decrypt and decode the block; authentication failure means either a
+   tampered response or a key/cell mismatch (a cheating user). *)
+let stage2_decode t (st : stage2) (ge : Z.t) : Poi.t list =
+  let ci =
+    try Gr.Client.decode st.pir ge
+    with Invalid_argument _ -> raise (Protocol_error "stage 2: bad response")
+  in
+  let blob =
+    try Z.to_bytes_be_padded ci ~len:(Params.cell_cipher_bytes t.params)
+    with Invalid_argument _ -> raise (Protocol_error "stage 2: block too large")
+  in
+  let plaintext =
+    try Cellcrypt.decrypt ~cell_key:st.cred.cell_key blob
+    with Cellcrypt.Authentication_failure ->
+      raise (Protocol_error "stage 2: authentication failure")
+  in
+  let pois =
+    try Poi.decode_block plaintext
+    with Invalid_argument _ -> raise (Protocol_error "stage 2: corrupt block")
+  in
+  List.filter (fun p -> not (Poi.is_dummy p)) pois

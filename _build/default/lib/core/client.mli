@@ -1,0 +1,44 @@
+(** The querying user: locate, OT the credential, PIR the block, decrypt. *)
+
+open Lbq_bignum
+open Lbq_geo
+module Ot = Lbq_ot.Ot
+module Counters = Lbq_metrics.Counters
+
+(** Raised on malformed or tampered protocol data; the message names the
+    failing stage. *)
+exception Protocol_error of string
+
+type t
+
+val create :
+  ?metrics:Counters.t -> ?seed:string -> Server.public_info -> t
+
+(** Stage-1 result: the private-cell id and its decryption key. *)
+type credential
+
+val credential_idq : credential -> int
+val credential_key : credential -> string
+
+(** Which public cell contains the position (purely local). *)
+val locate : t -> Coord.t -> Grid.cell
+
+(** Stage-1 state is the underlying OT client state; it is exposed so the
+    malicious-user example can call [Ot.Client.decode_at] on it. *)
+type stage1 = Ot.Client.state
+
+val stage1_query : t -> Grid.cell -> stage1 * Ot.query
+val stage1_decode : t -> stage1 -> Ot.response -> credential
+
+type stage2
+
+(** [reuse:true] caches the phi-hiding instance per cell and reuses it on
+    later rounds for the same cell — "several more rounds very
+    efficiently" (§VI) at the cost of letting the server link rounds that
+    share a modulus.  Default: a fresh instance per round. *)
+val stage2_query : ?reuse:bool -> t -> credential -> stage2 * (Z.t * Z.t)
+
+(** Decrypt, authenticate and decode the block; dummy records are
+    filtered out.  Raises {!Protocol_error} on tampering or key
+    mismatch. *)
+val stage2_decode : t -> stage2 -> Z.t -> Poi.t list

@@ -1,0 +1,90 @@
+(* Multi-grid deployment, following §III-B to the letter: it is the USER
+   who "initiates the protocol process by deciding a suitable square
+   cloaking region CR" and its accuracy (at least the server-defined
+   minimum), and the server then partitions its records under that grid.
+
+   A [Deployment.t] is the LS with its full POI set and a minimum grid
+   size; each registered cloaking region gets its own [Server.t] instance
+   (own partition, own keys, own OT table, own PIR encoding) addressed by
+   an instance id.  Different users — or one user in different areas —
+   operate against different instances without interfering. *)
+
+open Lbq_geo
+module Counters = Lbq_metrics.Counters
+
+exception Rejected of string
+
+type t = {
+  base : Params.t;          (* group, q_bits, private-grid policy, rmax *)
+  min_rows : int;           (* server-defined minimum P dimensions *)
+  min_cols : int;
+  coverage : Coord.Rect.t;  (* where the LS has data *)
+  pois : Poi.t list;
+  metrics : Counters.t;
+  mutable next_id : int;
+  instances : (int, Server.t) Hashtbl.t;
+}
+
+let create ?(metrics = Counters.null) ~(base : Params.t) ~min_rows ~min_cols
+    ~(coverage : Coord.Rect.t) (pois : Poi.t list) : t =
+  if min_rows <= 0 || min_cols <= 0 then invalid_arg "Deployment.create: min dims";
+  List.iter
+    (fun p ->
+      if not (Coord.Rect.contains coverage (Poi.position p)) then
+        invalid_arg "Deployment.create: POI outside coverage")
+    pois;
+  { base; min_rows; min_cols; coverage; pois; metrics; next_id = 0;
+    instances = Hashtbl.create 8 }
+
+let min_dims t = t.min_rows, t.min_cols
+let coverage t = t.coverage
+let instance_count t = Hashtbl.length t.instances
+
+(* A user submits her cloaking region and public-grid accuracy; the
+   server validates, partitions its records over the CR, and returns the
+   instance id plus the public info for that grid.  Raises [Rejected]
+   with the reason otherwise (the paper's "minimum size defined by the
+   server" rule, plus geometric sanity). *)
+let register (t : t) ~(cr : Coord.Rect.t) ~(rows : int) ~(cols : int)
+  : int * Server.public_info =
+  if rows < t.min_rows || cols < t.min_cols then
+    raise
+      (Rejected
+         (Printf.sprintf "grid %dx%d below the server minimum %dx%d" rows cols
+            t.min_rows t.min_cols));
+  if not
+       (Coord.Rect.contains t.coverage (Coord.Rect.min cr)
+        && Coord.Rect.contains t.coverage (Coord.Rect.max cr))
+  then raise (Rejected "cloaking region outside the server's coverage");
+  if Coord.Rect.width cr <= 0. || Coord.Rect.height cr <= 0. then
+    raise (Rejected "degenerate cloaking region");
+  (* POIs inside the CR; the instance's private grid covers the CR. *)
+  let local = List.filter (fun p -> Coord.Rect.contains cr (Poi.position p)) t.pois in
+  let params =
+    Params.make ~q_bits:t.base.Params.q_bits ~group:t.base.Params.group
+      ~public_rows:rows ~public_cols:cols
+      ~private_rows:t.base.Params.private_rows
+      ~private_cols:t.base.Params.private_cols ~rmax:t.base.Params.rmax
+      ~seed:(Printf.sprintf "%s/cr-%d" t.base.Params.seed t.next_id) ()
+  in
+  let server =
+    try Server.create ~metrics:t.metrics params ~area:cr local
+    with Invalid_argument m ->
+      raise (Rejected ("cannot serve this region: " ^ m))
+  in
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.instances id server;
+  id, Server.public_info server
+
+let instance (t : t) (id : int) : Server.t =
+  match Hashtbl.find_opt t.instances id with
+  | Some s -> s
+  | None -> raise (Rejected (Printf.sprintf "unknown instance %d" id))
+
+(* Message handlers, dispatched by instance id. *)
+let ot_respond t ~id q = Server.ot_respond (instance t id) q
+let pir_respond t ~id ~n ~g = Server.pir_respond (instance t id) ~n ~g
+
+(* Drop an instance (e.g. the user moved away); its keys die with it. *)
+let retire (t : t) (id : int) : unit = Hashtbl.remove t.instances id

@@ -1,0 +1,39 @@
+(** Multi-grid deployment (§III-B, faithful role split): the USER chooses
+    the square cloaking region and the grid accuracy (at least the
+    server-defined minimum); the server partitions its records per
+    registered region and serves each as an independent instance. *)
+
+open Lbq_geo
+module Counters = Lbq_metrics.Counters
+
+(** Raised with the reason when a registration or dispatch is refused. *)
+exception Rejected of string
+
+type t
+
+(** The LS: full POI set, coverage area, minimum grid accuracy, and the
+    parameter policy (group, q_bits, private-grid shape, rmax) applied to
+    every instance. *)
+val create :
+  ?metrics:Counters.t -> base:Params.t -> min_rows:int -> min_cols:int ->
+  coverage:Coord.Rect.t -> Poi.t list -> t
+
+val min_dims : t -> int * int
+val coverage : t -> Coord.Rect.t
+val instance_count : t -> int
+
+(** Submit a cloaking region and grid accuracy; returns the instance id
+    and its public info.  Raises {!Rejected} when the grid is below the
+    minimum, the region leaves the coverage, or the region cannot be
+    served. *)
+val register :
+  t -> cr:Coord.Rect.t -> rows:int -> cols:int -> int * Server.public_info
+
+(** The backing server of an instance (raises {!Rejected} if unknown). *)
+val instance : t -> int -> Server.t
+
+val ot_respond : t -> id:int -> Server.Ot.query -> Server.Ot.response
+val pir_respond : t -> id:int -> n:Lbq_bignum.Z.t -> g:Lbq_bignum.Z.t -> Lbq_bignum.Z.t
+
+(** Remove an instance and its key material. *)
+val retire : t -> int -> unit

@@ -1,0 +1,59 @@
+(* Protocol parameters (§II-A, §VI).  One value of this type fixes a whole
+   deployment: the OT group, the PIR cofactor width, both grid geometries
+   and the per-cell record budget. *)
+
+open Lbq_group
+
+type t = {
+  group : Schnorr.t;      (* ElGamal/OT group; paper: |p|=1024, |q|=160 *)
+  q_bits : int;           (* PIR cofactor prime width; paper: 128 *)
+  public_rows : int;      (* n — rows of the public grid P *)
+  public_cols : int;      (* m — columns of P *)
+  private_rows : int;     (* a — rows of the private partition Q *)
+  private_cols : int;     (* b — columns of Q *)
+  rmax : int;             (* POI records per private cell (uniform) *)
+  seed : string;          (* DRBG seed: fixes all server randomness *)
+}
+
+let make ?(q_bits = 128) ?(seed = "lbq") ~group ~public_rows ~public_cols
+    ~private_rows ~private_cols ~rmax () =
+  if public_rows <= 0 || public_cols <= 0 then invalid_arg "Params.make: empty P";
+  if private_rows <= 0 || private_cols <= 0 then invalid_arg "Params.make: empty Q";
+  if rmax <= 0 then invalid_arg "Params.make: rmax <= 0";
+  if q_bits < 16 then invalid_arg "Params.make: q_bits too small";
+  { group; q_bits; public_rows; public_cols; private_rows; private_cols;
+    rmax; seed }
+
+(* The paper's evaluation setting: 1024/160-bit group, 25x25 public grid
+   (§VI-A), 15x15 private matrix with 128-bit PIR cofactors (§VI-B). *)
+let paper ?(seed = "lbq-paper") ?(rmax = 2) () =
+  make ~group:(Schnorr.paper_group ()) ~q_bits:128 ~public_rows:25
+    ~public_cols:25 ~private_rows:15 ~private_cols:15 ~rmax ~seed ()
+
+(* Small and fast: used by the test suite.  rmax = 2 keeps the PIR block
+   (and hence the phi-hiding modulus) near the paper's 1024-bit setting;
+   larger rmax grows the modulus and slows every stage-2 operation. *)
+let test ?(seed = "lbq-test") () =
+  make ~group:(Schnorr.test_group ()) ~q_bits:24 ~public_rows:5 ~public_cols:5
+    ~private_rows:3 ~private_cols:3 ~rmax:2 ~seed ()
+
+(* Middle ground for the security-parameter ablation. *)
+let mid ?(seed = "lbq-mid") () =
+  make ~group:(Schnorr.mid_group ()) ~q_bits:64 ~public_rows:12
+    ~public_cols:12 ~private_rows:6 ~private_cols:6 ~rmax:3 ~seed ()
+
+let private_cells t = t.private_rows * t.private_cols
+let public_cells t = t.public_rows * t.public_cols
+
+(* Bytes of one encrypted private-cell block: rmax fixed-width records
+   plus the 16-byte authentication tag. *)
+let cell_cipher_bytes t = (t.rmax * Lbq_geo.Poi.encoded_size) + 16
+
+(* PIR capacity needed per record slot. *)
+let block_bits t = 8 * cell_cipher_bytes t
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>group: |p|=%d |q|=%d@,PIR q_bits: %d@,P: %dx%d  Q: %dx%d  rmax: %d@]"
+    (Schnorr.p_bits t.group) (Schnorr.q_bits t.group) t.q_bits t.public_rows
+    t.public_cols t.private_rows t.private_cols t.rmax

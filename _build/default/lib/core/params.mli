@@ -1,0 +1,41 @@
+(** Protocol parameters: one value fixes a deployment (group, PIR cofactor
+    width, grid geometries, per-cell record budget). *)
+
+open Lbq_group
+
+type t = {
+  group : Schnorr.t;
+  q_bits : int;
+  public_rows : int;
+  public_cols : int;
+  private_rows : int;
+  private_cols : int;
+  rmax : int;
+  seed : string;
+}
+
+val make :
+  ?q_bits:int -> ?seed:string -> group:Schnorr.t -> public_rows:int ->
+  public_cols:int -> private_rows:int -> private_cols:int -> rmax:int ->
+  unit -> t
+
+(** The paper's evaluation setting: 1024/160 group, 25×25 public grid,
+    15×15 private matrix, 128-bit PIR cofactors. *)
+val paper : ?seed:string -> ?rmax:int -> unit -> t
+
+(** Small and fast, for tests (256-bit group, 6×6 / 3×3). *)
+val test : ?seed:string -> unit -> t
+
+(** Security-parameter ablation midpoint (512-bit group, 12×12 / 6×6). *)
+val mid : ?seed:string -> unit -> t
+
+val private_cells : t -> int
+val public_cells : t -> int
+
+(** Bytes of one encrypted private-cell block (records + tag). *)
+val cell_cipher_bytes : t -> int
+
+(** PIR capacity needed per slot. *)
+val block_bits : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** Message-passing driver for one protocol round (Figure 2).  Every
+    message is serialized through {!Wire} and re-parsed on the receiving
+    side; the transcript records the actual bytes on the wire. *)
+
+open Lbq_geo
+
+type direction = User_to_server | Server_to_user
+
+type message = { direction : direction; label : string; bytes : int }
+
+type transcript = message list
+
+type round_result = {
+  pois : Poi.t list;
+  credential : Client.credential;
+  transcript : transcript;
+}
+
+(** Total bytes, optionally restricted to one direction. *)
+val transcript_bytes : ?direction:direction -> transcript -> int
+
+val pp_message : Format.formatter -> message -> unit
+val pp_transcript : Format.formatter -> transcript -> unit
+
+(** One full two-stage round for a user at [position].  [reuse] lets the
+    client recycle its per-cell PIR instance across rounds (§VI's
+    repeated-round efficiency; links same-cell rounds at the server). *)
+val run_round :
+  ?reuse:bool -> Client.t -> Server.t -> position:Coord.t -> round_result

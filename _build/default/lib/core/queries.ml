@@ -1,0 +1,146 @@
+(* Application-level queries on top of the round primitive.
+
+   The paper's protocol returns the POI block of the private cell the
+   user stands in; its motivating queries ("the nearest ATM", §I) need a
+   little more, because the nearest POI may sit in an adjacent cell.
+   This layer runs the k-nearest-neighbour search a client would actually
+   ship: fetch the own cell, widen to the 3x3 private-cell neighbourhood
+   when needed, and report whether the answer is exact — i.e. whether any
+   unfetched cell could still hide a closer POI.
+
+   Privacy note: each extra fetched cell is one more ordinary round (the
+   server still learns nothing about any of the queried cells); the only
+   cost is time.  All geometry used here is public information. *)
+
+open Lbq_geo
+
+(* How a round is executed — plain [Protocol.run_round client server] or a
+   network session; the query layer does not care. *)
+type round_fn = position:Coord.t -> Protocol.round_result
+
+type result = {
+  pois : Poi.t list;    (* up to k, closest first *)
+  rounds : int;         (* protocol rounds spent *)
+  exact : bool;         (* no unfetched cell can hide a closer POI *)
+  radius : float;       (* distance within which the answer is complete *)
+}
+
+(* The private-grid lattice is public geometry (dimensions + area). *)
+let q_lattice (info : Server.public_info) : Grid.lattice =
+  let p = info.Server.params in
+  Grid.lattice ~area:info.Server.area ~rows:p.Params.private_rows
+    ~cols:p.Params.private_cols
+
+(* Map each private cell to one public cell whose centre lies in it (the
+   public cell a user queries to obtain that private cell's block).
+   Purely geometric, computed from public info. *)
+let public_cell_for (info : Server.public_info) : (int, Grid.cell) Hashtbl.t =
+  let q = q_lattice info in
+  let cols_q = Grid.lattice_cols q in
+  let map = Hashtbl.create 16 in
+  let p = info.Server.public_grid in
+  for row = 0 to Grid.lattice_rows p - 1 do
+    for col = 0 to Grid.lattice_cols p - 1 do
+      let centre = Grid.cell_center p { Grid.row; col } in
+      let qc = Grid.cell_of_coord q centre in
+      let idx = (qc.Grid.row * cols_q) + qc.Grid.col in
+      if not (Hashtbl.mem map idx) then Hashtbl.add map idx { Grid.row; col }
+    done
+  done;
+  map
+
+(* Distance from [position] to the boundary of the axis-aligned union of
+   the fetched cells (a rectangle here: the 3x3 clipped neighbourhood).
+   Any POI closer than this is guaranteed to lie in a fetched cell. *)
+let boundary_distance (rect : Coord.Rect.t) ~(area : Coord.Rect.t)
+    (position : Coord.t) : float =
+  let x = Coord.x position and y = Coord.y position in
+  let candidates =
+    [ (if Coord.x (Coord.Rect.min rect) > Coord.x (Coord.Rect.min area) +. 1e-9
+       then Some (x -. Coord.x (Coord.Rect.min rect)) else None);
+      (if Coord.x (Coord.Rect.max rect) < Coord.x (Coord.Rect.max area) -. 1e-9
+       then Some (Coord.x (Coord.Rect.max rect) -. x) else None);
+      (if Coord.y (Coord.Rect.min rect) > Coord.y (Coord.Rect.min area) +. 1e-9
+       then Some (y -. Coord.y (Coord.Rect.min rect)) else None);
+      (if Coord.y (Coord.Rect.max rect) < Coord.y (Coord.Rect.max area) -. 1e-9
+       then Some (Coord.y (Coord.Rect.max rect) -. y) else None) ]
+  in
+  List.fold_left
+    (fun acc c -> match c with Some d -> Float.min acc d | None -> acc)
+    Float.infinity candidates
+
+(* k nearest POIs around [position].  [widen] controls whether the 3x3
+   neighbourhood may be fetched when the own cell cannot certify the
+   answer (default true). *)
+let k_nearest ?(widen = true) (info : Server.public_info) (run : round_fn)
+    ~(k : int) ~(position : Coord.t) : result =
+  if k <= 0 then invalid_arg "Queries.k_nearest: k <= 0";
+  let q = q_lattice info in
+  let area = info.Server.area in
+  let own_q = Grid.cell_of_coord q position in
+  let rounds = ref 0 in
+  let fetched : (int, Poi.t list) Hashtbl.t = Hashtbl.create 9 in
+  let cell_map = public_cell_for info in
+  let cols_q = Grid.lattice_cols q in
+  let fetch (qc : Grid.cell) =
+    let idx = (qc.Grid.row * cols_q) + qc.Grid.col in
+    if not (Hashtbl.mem fetched idx) then begin
+      match Hashtbl.find_opt cell_map idx with
+      | None -> () (* no public cell lands in this private cell *)
+      | Some pc ->
+        let result = run ~position:(Grid.cell_center info.Server.public_grid pc) in
+        incr rounds;
+        Hashtbl.replace fetched idx result.Protocol.pois
+    end
+  in
+  (* The own cell is fetched with the true position (indistinguishable
+     from any other round). *)
+  let own_idx = (own_q.Grid.row * cols_q) + own_q.Grid.col in
+  let own = run ~position in
+  incr rounds;
+  Hashtbl.replace fetched own_idx own.Protocol.pois;
+  let neighbourhood ~span =
+    let r0 = max 0 (own_q.Grid.row - span) in
+    let r1 = min (Grid.lattice_rows q - 1) (own_q.Grid.row + span) in
+    let c0 = max 0 (own_q.Grid.col - span) in
+    let c1 = min (Grid.lattice_cols q - 1) (own_q.Grid.col + span) in
+    (r0, c0, r1, c1)
+  in
+  let region_rect (r0, c0, r1, c1) =
+    let lo = Grid.cell_rect q { Grid.row = r0; col = c0 } in
+    let hi = Grid.cell_rect q { Grid.row = r1; col = c1 } in
+    Coord.Rect.make ~min:(Coord.Rect.min lo) ~max:(Coord.Rect.max hi)
+  in
+  let answer_with region =
+    let all = Hashtbl.fold (fun _ pois acc -> pois @ acc) fetched [] in
+    let best = Nn.k_nearest ~k ~from:position all in
+    let radius = boundary_distance (region_rect region) ~area position in
+    let certified =
+      List.length best >= k
+      && (match List.nth_opt best (k - 1) with
+          | Some worst ->
+            Coord.distance position (Poi.position worst) <= radius
+          | None -> false)
+    in
+    best, radius, certified
+  in
+  let own_region = neighbourhood ~span:0 in
+  let best, radius, certified = answer_with own_region in
+  if certified || not widen then
+    { pois = best; rounds = !rounds; exact = certified; radius }
+  else begin
+    (* Widen to the clipped 3x3 neighbourhood. *)
+    let ((r0, c0, r1, c1) as region) = neighbourhood ~span:1 in
+    for row = r0 to r1 do
+      for col = c0 to c1 do
+        fetch { Grid.row; col }
+      done
+    done;
+    let best, radius, certified = answer_with region in
+    { pois = best; rounds = !rounds; exact = certified; radius }
+  end
+
+(* Nearest single POI; [None] if the fetched region is empty. *)
+let nearest ?widen info run ~position : (Poi.t * result) option =
+  let r = k_nearest ?widen info run ~k:1 ~position in
+  match r.pois with p :: _ -> Some (p, r) | [] -> None

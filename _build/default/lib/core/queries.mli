@@ -1,0 +1,27 @@
+(** Application-level k-nearest-neighbour queries over the round
+    primitive: fetch the own cell, widen to the 3×3 private-cell
+    neighbourhood when the answer cannot be certified, and report the
+    certified radius.  Every fetch is an ordinary round — the server
+    learns nothing about any of them. *)
+
+open Lbq_geo
+
+(** How to execute one protocol round (local driver or network session). *)
+type round_fn = position:Coord.t -> Protocol.round_result
+
+type result = {
+  pois : Poi.t list;   (** up to k, closest first *)
+  rounds : int;        (** protocol rounds spent *)
+  exact : bool;        (** no unfetched cell can hide a closer POI *)
+  radius : float;      (** the answer is complete within this distance *)
+}
+
+(** [k_nearest info run ~k ~position].  [widen:false] restricts to the
+    user's own cell (one round, like the bare paper protocol). *)
+val k_nearest :
+  ?widen:bool -> Server.public_info -> round_fn -> k:int ->
+  position:Coord.t -> result
+
+val nearest :
+  ?widen:bool -> Server.public_info -> round_fn -> position:Coord.t ->
+  (Poi.t * result) option

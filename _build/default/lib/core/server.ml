@@ -1,0 +1,124 @@
+(* The Location Server (LS).  Global initialisation per §III-B:
+
+   1. partition the POI records into the private grid Q, padded to a
+      uniform rmax records per cell;
+   2. draw a symmetric key k per cell and encrypt each cell's block;
+   3. CRT-encode the encrypted blocks into the single PIR integer e;
+   4. run OT initialisation (Algorithm 1) over the public grid P, where
+      the payload of P_{i,j} is IDQ ‖ k for the private cell under it;
+   5. publish the public info (grid geometry, masked OT table, PIR plan).
+
+   After initialisation the server answers two kinds of messages — an OT
+   query (stage 1) and a PIR query (stage 2) — and learns nothing about
+   the user's cell from either. *)
+
+open Lbq_bignum
+open Lbq_geo
+module Ot = Lbq_ot.Ot
+module Gr = Lbq_pir.Gr
+module Counters = Lbq_metrics.Counters
+module Drbg = Lbq_crypto.Drbg
+
+(* The OT payload: IDQ (4 bytes, big-endian) ‖ cell key (16 bytes).
+   20 bytes — exactly one SHA-1 digest, as in the paper's masking. *)
+let payload_len = 4 + Cellcrypt.key_len
+
+let encode_payload ~idq ~key =
+  if String.length key <> Cellcrypt.key_len then
+    invalid_arg "Server.encode_payload: key length";
+  String.init 4 (fun k -> Char.chr ((idq lsr ((3 - k) * 8)) land 0xff)) ^ key
+
+let decode_payload (s : string) : int * string =
+  if String.length s <> payload_len then
+    invalid_arg "Server.decode_payload: bad length";
+  let idq = ref 0 in
+  for k = 0 to 3 do
+    idq := (!idq lsl 8) lor Char.code s.[k]
+  done;
+  !idq, String.sub s 4 Cellcrypt.key_len
+
+(* Everything a user needs before querying (fetched once, like the grid
+   dimensions and Y table of the paper). *)
+type public_info = {
+  params : Params.t;
+  area : Coord.Rect.t;
+  public_grid : Grid.lattice;
+  masked_table : string array array;  (* the OT Y matrix *)
+  plan : Gr.plan;                     (* PIR prime-power pattern *)
+}
+
+type t = {
+  params : Params.t;
+  metrics : Counters.t;
+  partition : Grid.partition;
+  keys : string array;                (* k per private cell *)
+  ot : Ot.Server.t;
+  pir : Gr.Server.t;
+  public : public_info;
+}
+
+let create ?(metrics = Counters.null) (params : Params.t)
+    ~(area : Coord.Rect.t) (pois : Poi.t list) : t =
+  let drbg = Drbg.create ~domain:"lbq-server" ~seed:params.Params.seed () in
+  let rand = Drbg.rand drbg in
+  (* 1. Private partition with uniform occupancy. *)
+  let partition =
+    Grid.partition ~rmax:params.Params.rmax ~area
+      ~rows:params.Params.private_rows ~cols:params.Params.private_cols pois
+  in
+  let cells = Grid.cell_count partition in
+  (* 2. Per-cell keys and encrypted blocks. *)
+  let keys = Array.init cells (fun _ -> Drbg.bytes drbg Cellcrypt.key_len) in
+  let ciphertexts =
+    Array.init cells (fun idx ->
+        let block = Poi.encode_block (Grid.cell_pois partition idx) in
+        Cellcrypt.encrypt ~cell_key:keys.(idx) block)
+  in
+  (* 3. PIR encoding: one prime-power slot per private cell. *)
+  let plan =
+    Gr.make_plan ~count:cells ~block_bits:(Params.block_bits params) ()
+  in
+  let records = Array.map (fun ct -> Z.of_bytes_be ct) ciphertexts in
+  let pir = Gr.Server.create ~metrics plan records in
+  (* 4. OT initialisation over the public grid. *)
+  let public_grid =
+    Grid.lattice ~area ~rows:params.Params.public_rows
+      ~cols:params.Params.public_cols
+  in
+  let payloads =
+    Array.init params.Params.public_rows (fun row ->
+        Array.init params.Params.public_cols (fun col ->
+            let idq = Grid.associate public_grid partition { Grid.row; col } in
+            encode_payload ~idq ~key:keys.(idq)))
+  in
+  let ot =
+    Ot.Server.init ~group:params.Params.group ~rand ~metrics payloads
+  in
+  let public =
+    { params; area; public_grid; masked_table = Ot.Server.masked_table ot; plan }
+  in
+  { params; metrics; partition; keys; ot; pir; public }
+
+let public_info t = t.public
+let params t = t.params
+let partition t = t.partition
+let metrics t = t.metrics
+
+(* Stage-1 message handler. *)
+let ot_respond t (q : Ot.query) : Ot.response = Ot.Server.respond t.ot q
+
+(* Stage-2 message handler, with the deployment-wide modulus bound as a
+   resource-exhaustion guard (the g^e cost scales with the query width). *)
+let pir_respond t ~(n : Z.t) ~(g : Z.t) : Z.t =
+  let max_n_bits =
+    Gr.Server.max_modulus_bits t.pir ~q_bits:t.params.Params.q_bits
+  in
+  Gr.Server.respond ~max_n_bits t.pir ~n ~g
+
+(* The CRT database integer (diagnostics; |e| drives the stage-2 cost). *)
+let pir_e_bits t = Gr.Server.e_bits t.pir
+
+(* Introspection used by tests and examples; a real deployment would keep
+   these private, which is why they sit behind explicit "trusted" names. *)
+let trusted_cell_key t idq = t.keys.(idq)
+let trusted_cell_pois t idq = Grid.cell_pois t.partition idq

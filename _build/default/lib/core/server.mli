@@ -1,0 +1,51 @@
+(** The Location Server: global initialisation (§III-B) and the two
+    message handlers (OT stage, PIR stage). *)
+
+open Lbq_bignum
+open Lbq_geo
+module Ot = Lbq_ot.Ot
+module Gr = Lbq_pir.Gr
+module Counters = Lbq_metrics.Counters
+
+(** Bytes of one OT payload: IDQ (4) ‖ cell key (16). *)
+val payload_len : int
+
+val encode_payload : idq:int -> key:string -> string
+val decode_payload : string -> int * string
+
+(** What a user fetches once before querying: grid geometry, the masked OT
+    table, and the PIR prime-power plan. *)
+type public_info = {
+  params : Params.t;
+  area : Coord.Rect.t;
+  public_grid : Grid.lattice;
+  masked_table : string array array;
+  plan : Gr.plan;
+}
+
+type t
+
+(** Initialise the server over its POI database: partition, encrypt cells,
+    CRT-encode, run OT init.  Raises [Invalid_argument] when a private
+    cell holds more than [params.rmax] records. *)
+val create :
+  ?metrics:Counters.t -> Params.t -> area:Coord.Rect.t -> Poi.t list -> t
+
+val public_info : t -> public_info
+val params : t -> Params.t
+val partition : t -> Grid.partition
+val metrics : t -> Counters.t
+
+(** Stage-1 handler (Algorithm 2, server side). *)
+val ot_respond : t -> Ot.query -> Ot.response
+
+(** Stage-2 handler (Algorithm 3, server side): [g^e mod N]. *)
+val pir_respond : t -> n:Z.t -> g:Z.t -> Z.t
+
+(** Width of the CRT database integer (drives stage-2 server cost). *)
+val pir_e_bits : t -> int
+
+(** Trusted introspection for tests and examples only. *)
+val trusted_cell_key : t -> int -> string
+
+val trusted_cell_pois : t -> int -> Poi.t list

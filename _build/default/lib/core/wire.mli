@@ -1,0 +1,27 @@
+(** Wire format for the four protocol messages.  The transcript byte
+    counts of Tables I/II come from these encoders. *)
+
+open Lbq_bignum
+open Lbq_group
+module Ot = Lbq_ot.Ot
+
+exception Malformed of string
+
+val ot_query_encode : Schnorr.t -> Ot.query -> string
+val ot_query_decode : Schnorr.t -> string -> Ot.query
+
+val ot_response_encode : Schnorr.t -> Ot.response -> string
+val ot_response_decode : Schnorr.t -> string -> Ot.response
+
+val pir_query_encode : Z.t * Z.t -> string
+val pir_query_decode : string -> Z.t * Z.t
+
+val pir_response_encode : n:Z.t -> Z.t -> string
+val pir_response_decode : string -> Z.t
+
+(** The one-time bootstrap download: parameters, area, masked OT table.
+    The PIR plan is recomputed on decode (it is a deterministic
+    "predictable pattern", §III-B). *)
+val public_info_encode : Server.public_info -> string
+
+val public_info_decode : string -> Server.public_info

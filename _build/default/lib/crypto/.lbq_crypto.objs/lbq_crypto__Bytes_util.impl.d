@@ -1,0 +1,1 @@
+lib/crypto/bytes_util.ml: Buffer Char Printf String

@@ -1,0 +1,1 @@
+lib/crypto/bytes_util.mli: Buffer

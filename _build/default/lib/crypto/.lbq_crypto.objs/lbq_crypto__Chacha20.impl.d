@@ -1,0 +1,1 @@
+lib/crypto/chacha20.ml: Array Buffer Bytes Bytes_util Char String

@@ -1,0 +1,1 @@
+lib/crypto/crc32.ml: Array Char Lazy String

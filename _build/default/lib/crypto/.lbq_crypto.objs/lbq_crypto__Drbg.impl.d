@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Bytes Bytes_util Chacha20 Char Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/merkle.ml: Array Bytes_util List Sha256

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Buffer Bytes_util Sha1 String

@@ -1,0 +1,19 @@
+(** AES-128 (FIPS 197) with CTR mode: the symmetric cipher keyed by the
+    per-cell keys [k_{i,j}] of the protocol. *)
+
+type t
+
+val key_size : int
+val block_size : int
+
+(** [expand_key key] precomputes the round keys for a 16-byte key. *)
+val expand_key : string -> t
+
+(** Single-block (16-byte) encryption. *)
+val encrypt_block : t -> string -> string
+
+(** CTR mode with a 12-byte nonce and 32-bit big-endian block counter
+    (counter block = nonce ‖ counter). *)
+val ctr_encrypt : t -> nonce:string -> ?counter:int -> string -> string
+
+val ctr_decrypt : t -> nonce:string -> ?counter:int -> string -> string

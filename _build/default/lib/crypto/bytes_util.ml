@@ -1,0 +1,55 @@
+(* Small byte-string helpers shared by the crypto modules. *)
+
+let xor (a : string) (b : string) : string =
+  if String.length a <> String.length b then
+    invalid_arg "Bytes_util.xor: length mismatch";
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let to_hex (s : string) : string =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_hex (s : string) : string =
+  if String.length s mod 2 <> 0 then invalid_arg "Bytes_util.of_hex: odd length";
+  String.init (String.length s / 2) (fun i ->
+      let hi = s.[2 * i] and lo = s.[(2 * i) + 1] in
+      let v c =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Bytes_util.of_hex: bad digit"
+      in
+      Char.chr ((v hi lsl 4) lor v lo))
+
+(* Constant-time-ish equality (length leak only). *)
+let equal_ct (a : string) (b : string) : bool =
+  String.length a = String.length b
+  && begin
+    let acc = ref 0 in
+    String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+    !acc = 0
+  end
+
+(* Big-endian 32-bit store into a Buffer. *)
+let add_u32_be buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let get_u32_be s i =
+  (Char.code s.[i] lsl 24) lor (Char.code s.[i + 1] lsl 16)
+  lor (Char.code s.[i + 2] lsl 8) lor Char.code s.[i + 3]
+
+let get_u32_le s i =
+  Char.code s.[i] lor (Char.code s.[i + 1] lsl 8)
+  lor (Char.code s.[i + 2] lsl 16) lor (Char.code s.[i + 3] lsl 24)
+
+let add_u32_le buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))

@@ -1,0 +1,15 @@
+(** Byte-string helpers shared by the crypto modules. *)
+
+(** XOR of equal-length strings. *)
+val xor : string -> string -> string
+
+val to_hex : string -> string
+val of_hex : string -> string
+
+(** Equality that does not short-circuit on content (length leak only). *)
+val equal_ct : string -> string -> bool
+
+val add_u32_be : Buffer.t -> int -> unit
+val get_u32_be : string -> int -> int
+val add_u32_le : Buffer.t -> int -> unit
+val get_u32_le : string -> int -> int

@@ -1,0 +1,65 @@
+(* ChaCha20 stream cipher (RFC 8439).  Drives both the DRBG and one of the
+   record-encryption options. *)
+
+let mask32 = 0xFFFFFFFF
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let key_size = 32
+let nonce_size = 12
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask32; st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask32; st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask32; st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask32; st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+(* One 64-byte keystream block for (key, counter, nonce). *)
+let block ~key ~counter ~nonce : string =
+  if String.length key <> key_size then invalid_arg "Chacha20.block: key size";
+  if String.length nonce <> nonce_size then invalid_arg "Chacha20.block: nonce size";
+  if counter < 0 then invalid_arg "Chacha20.block: negative counter";
+  let init = Array.make 16 0 in
+  init.(0) <- 0x61707865; init.(1) <- 0x3320646e;
+  init.(2) <- 0x79622d32; init.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    init.(4 + i) <- Bytes_util.get_u32_le key (4 * i)
+  done;
+  init.(12) <- counter land mask32;
+  for i = 0 to 2 do
+    init.(13 + i) <- Bytes_util.get_u32_le nonce (4 * i)
+  done;
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Buffer.create 64 in
+  for i = 0 to 15 do
+    Bytes_util.add_u32_le out ((st.(i) + init.(i)) land mask32)
+  done;
+  Buffer.contents out
+
+(* XOR [msg] with the keystream starting at block [counter] (encrypt and
+   decrypt are the same operation). *)
+let encrypt ~key ~nonce ?(counter = 1) (msg : string) : string =
+  let n = String.length msg in
+  let out = Bytes.create n in
+  let nblocks = (n + 63) / 64 in
+  for b = 0 to nblocks - 1 do
+    let ks = block ~key ~counter:(counter + b) ~nonce in
+    let off = b * 64 in
+    let len = min 64 (n - off) in
+    for i = 0 to len - 1 do
+      Bytes.set out (off + i)
+        (Char.chr (Char.code msg.[off + i] lxor Char.code ks.[i]))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let decrypt = encrypt

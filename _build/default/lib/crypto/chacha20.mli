@@ -1,0 +1,14 @@
+(** ChaCha20 stream cipher (RFC 8439). *)
+
+val key_size : int
+val nonce_size : int
+
+(** [block ~key ~counter ~nonce] is one 64-byte keystream block. *)
+val block : key:string -> counter:int -> nonce:string -> string
+
+(** XOR with the keystream starting at block [counter] (default 1,
+    matching RFC 8439's encryption convention). *)
+val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
+
+(** Identical to {!encrypt}. *)
+val decrypt : key:string -> nonce:string -> ?counter:int -> string -> string

@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3): transport corruption detection for the framing
+    layer (not a MAC). *)
+
+(** Checksum of a whole string. *)
+val digest : string -> int
+
+(** Incremental update. *)
+val update : int -> string -> int

@@ -1,0 +1,61 @@
+(* Deterministic random byte generator built on ChaCha20 in counter mode
+   with a SHA-256-derived key.  Every randomized component of the protocol
+   draws from one of these, so whole experiments replay bit-for-bit from a
+   seed string. *)
+
+type t = {
+  key : string;            (* 32 bytes, SHA-256 of the seed *)
+  nonce : string;          (* 12 bytes, domain separation *)
+  mutable counter : int;   (* next ChaCha20 block index *)
+  mutable buffer : string; (* unconsumed keystream *)
+  mutable pos : int;
+}
+
+let create ?(domain = "lbq-drbg") ~seed () =
+  { key = Sha256.digest seed;
+    nonce = String.sub (Sha256.digest ("nonce:" ^ domain)) 0 12;
+    counter = 0;
+    buffer = "";
+    pos = 0 }
+
+(* Independent child generator; children with distinct labels are
+   computationally independent streams. *)
+let split t ~label =
+  create ~domain:label ~seed:(Bytes_util.to_hex t.key ^ "/" ^ label) ()
+
+let refill t =
+  t.buffer <- Chacha20.block ~key:t.key ~counter:t.counter ~nonce:t.nonce;
+  t.counter <- t.counter + 1;
+  t.pos <- 0
+
+let bytes t n =
+  if n < 0 then invalid_arg "Drbg.bytes: negative";
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if t.pos >= String.length t.buffer then refill t;
+    let take = min (n - !filled) (String.length t.buffer - t.pos) in
+    Bytes.blit_string t.buffer t.pos out !filled take;
+    t.pos <- t.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string out
+
+(* Adapter matching the [int -> string] byte-source signature used by
+   [Lbq_bignum.Z.random_*]. *)
+let rand t : int -> string = fun n -> bytes t n
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Drbg.int: bound <= 0";
+  (* Rejection sampling over the smallest covering power of two. *)
+  let rec bits_needed b acc = if b = 0 then acc else bits_needed (b lsr 1) (acc + 1) in
+  let nbits = bits_needed (bound - 1) 0 in
+  let nbytes = (nbits + 7) / 8 in
+  let rec go () =
+    let s = bytes t (max nbytes 1) in
+    let v = ref 0 in
+    String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+    let v = !v land ((1 lsl nbits) - 1) in
+    if v < bound then v else go ()
+  in
+  if bound = 1 then 0 else go ()

@@ -1,0 +1,23 @@
+(** Deterministic random byte generator (ChaCha20 in counter mode, key
+    derived by SHA-256 from a seed string).
+
+    Every randomized component of this repository draws from a [Drbg.t], so
+    a whole experiment replays bit-for-bit given the same seed. *)
+
+type t
+
+(** [create ~seed ()] derives the generator key from [seed]; [domain]
+    separates nonce spaces of unrelated generators. *)
+val create : ?domain:string -> seed:string -> unit -> t
+
+(** Independent child stream; distinct labels give independent streams. *)
+val split : t -> label:string -> t
+
+(** [bytes t n] returns the next [n] bytes. *)
+val bytes : t -> int -> string
+
+(** Byte-source closure matching {!Lbq_bignum.Z.random_bits}'s argument. *)
+val rand : t -> int -> string
+
+(** [int t bound] is uniform in [\[0, bound)]. *)
+val int : t -> int -> int

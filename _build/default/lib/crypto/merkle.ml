@@ -1,0 +1,73 @@
+(* Binary Merkle tree over byte-string leaves (SHA-256, with leaf/node
+   domain separation against second-preimage splicing).  Used by the
+   audit extension: the server commits to its published OT table so
+   different users can detect equivocation by comparing one 32-byte
+   root. *)
+
+type proof = {
+  leaf_index : int;
+  path : (string * [ `Left | `Right ]) list;
+    (* sibling hashes bottom-up; the tag says which side the sibling is on *)
+}
+
+let hash_leaf (data : string) : string = Sha256.digest ("\x00" ^ data)
+let hash_node (l : string) (r : string) : string = Sha256.digest ("\x01" ^ l ^ r)
+
+(* Build all levels bottom-up; an odd node is promoted unchanged. *)
+let levels (leaves : string list) : string array list =
+  if leaves = [] then invalid_arg "Merkle.levels: no leaves";
+  let base = Array.of_list (List.map hash_leaf leaves) in
+  let rec go acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let parent =
+        Array.init ((n + 1) / 2) (fun i ->
+            if (2 * i) + 1 < n then hash_node level.(2 * i) level.((2 * i) + 1)
+            else level.(2 * i))
+      in
+      go (level :: acc) parent
+    end
+  in
+  go [] base
+
+let root (leaves : string list) : string =
+  match List.rev (levels leaves) with
+  | top :: _ -> top.(0)
+  | [] -> assert false
+
+let prove (leaves : string list) ~(index : int) : proof =
+  let n = List.length leaves in
+  if index < 0 || index >= n then invalid_arg "Merkle.prove: index out of range";
+  let lvls = levels leaves in
+  let rec collect acc idx = function
+    | [] | [ _ ] -> List.rev acc
+    | level :: rest ->
+      let sibling =
+        if idx land 1 = 1 then Some (level.(idx - 1), `Left)
+        else if idx + 1 < Array.length level then Some (level.(idx + 1), `Right)
+        else None
+      in
+      let acc = match sibling with Some s -> s :: acc | None -> acc in
+      collect acc (idx / 2) rest
+  in
+  { leaf_index = index; path = collect [] index lvls }
+
+let verify ~(root : string) ~(leaf : string) (p : proof) : bool =
+  let h =
+    List.fold_left
+      (fun h (sibling, side) ->
+        match side with
+        | `Left -> hash_node sibling h
+        | `Right -> hash_node h sibling)
+      (hash_leaf leaf) p.path
+  in
+  Bytes_util.equal_ct h root
+
+(* Wire footprint of a proof (32 bytes per level + the index). *)
+let proof_bytes (p : proof) : int = 4 + (33 * List.length p.path)
+
+(* Which leaf position the proof claims; verifiers must check it against
+   the position they asked for, or a prover could answer with a different
+   (validly-included) leaf. *)
+let proof_index (p : proof) : int = p.leaf_index

@@ -1,0 +1,20 @@
+(** Binary Merkle tree over byte-string leaves (SHA-256 with leaf/node
+    domain separation).  Backs the table-audit extension. *)
+
+type proof
+
+(** Root of a non-empty leaf list. *)
+val root : string list -> string
+
+(** Inclusion proof for leaf [index]. *)
+val prove : string list -> index:int -> proof
+
+(** Does [leaf] sit at the proof's position under [root]? *)
+val verify : root:string -> leaf:string -> proof -> bool
+
+(** Serialized footprint of a proof in bytes. *)
+val proof_bytes : proof -> int
+
+(** The leaf position the proof claims; verifiers must compare it with
+    the position they requested. *)
+val proof_index : proof -> int

@@ -1,0 +1,59 @@
+(* SHA-1 (FIPS 180-1), used because the paper masks OT table entries with
+   SHA-1.  32-bit words live in native ints masked to 32 bits. *)
+
+let mask32 = 0xFFFFFFFF
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let digest_size = 20
+
+(* Merkle–Damgård padding: 0x80, zeros, 64-bit big-endian bit length. *)
+let pad (msg : string) : string =
+  let len = String.length msg in
+  let bitlen = len * 8 in
+  let buf = Buffer.create (len + 72) in
+  Buffer.add_string buf msg;
+  Buffer.add_char buf '\x80';
+  while Buffer.length buf mod 64 <> 56 do
+    Buffer.add_char buf '\x00'
+  done;
+  for shift = 7 downto 0 do
+    Buffer.add_char buf (Char.chr ((bitlen lsr (shift * 8)) land 0xff))
+  done;
+  Buffer.contents buf
+
+let digest (msg : string) : string =
+  let padded = pad msg in
+  let h = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |] in
+  let w = Array.make 80 0 in
+  let nblocks = String.length padded / 64 in
+  for blk = 0 to nblocks - 1 do
+    let off = blk * 64 in
+    for t = 0 to 15 do
+      w.(t) <- Bytes_util.get_u32_be padded (off + (4 * t))
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16)) 1
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2)
+    and d = ref h.(3) and e = ref h.(4) in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then (!b land !c) lor (lnot !b land !d) land mask32, 0x5A827999
+        else if t < 40 then !b lxor !c lxor !d, 0x6ED9EBA1
+        else if t < 60 then (!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC
+        else !b lxor !c lxor !d, 0xCA62C1D6
+      in
+      let tmp = (rotl !a 5 + (f land mask32) + !e + w.(t) + k) land mask32 in
+      e := !d; d := !c; c := rotl !b 30; b := !a; a := tmp
+    done;
+    h.(0) <- (h.(0) + !a) land mask32;
+    h.(1) <- (h.(1) + !b) land mask32;
+    h.(2) <- (h.(2) + !c) land mask32;
+    h.(3) <- (h.(3) + !d) land mask32;
+    h.(4) <- (h.(4) + !e) land mask32
+  done;
+  let out = Buffer.create 20 in
+  Array.iter (Bytes_util.add_u32_be out) h;
+  Buffer.contents out
+
+let hex msg = Bytes_util.to_hex (digest msg)

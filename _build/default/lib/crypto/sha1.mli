@@ -1,0 +1,13 @@
+(** SHA-1 (FIPS 180-1).  The paper masks oblivious-transfer table entries
+    with SHA-1, so we implement it faithfully; do not use for new designs. *)
+
+val digest_size : int
+
+(** One-shot digest: 20 raw bytes. *)
+val digest : string -> string
+
+(** Digest as lowercase hex. *)
+val hex : string -> string
+
+(** Merkle–Damgård padding (shared with {!Sha256}); exposed for tests. *)
+val pad : string -> string

@@ -1,0 +1,9 @@
+(** SHA-256 (FIPS 180-4): key derivation and record authentication. *)
+
+val digest_size : int
+
+(** One-shot digest: 32 raw bytes. *)
+val digest : string -> string
+
+(** Digest as lowercase hex. *)
+val hex : string -> string

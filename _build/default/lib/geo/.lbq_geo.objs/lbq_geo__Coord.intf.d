@@ -1,0 +1,1 @@
+lib/geo/coord.mli: Format

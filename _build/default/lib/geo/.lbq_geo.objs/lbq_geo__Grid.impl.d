@@ -1,0 +1,1 @@
+lib/geo/grid.ml: Array Coord Format List Poi

@@ -1,0 +1,1 @@
+lib/geo/grid.mli: Coord Format Poi

@@ -1,0 +1,1 @@
+lib/geo/nn.ml: Coord Float Int List Poi

@@ -1,0 +1,1 @@
+lib/geo/nn.mli: Coord Poi

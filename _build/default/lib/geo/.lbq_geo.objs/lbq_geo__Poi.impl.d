@@ -1,0 +1,1 @@
+lib/geo/poi.ml: Bool Bytes Char Coord Format Int64 List String

@@ -1,0 +1,1 @@
+lib/geo/poi.mli: Coord Format

@@ -1,0 +1,1 @@
+lib/geo/poi_file.ml: Coord Float Fun Hashtbl List Poi Printf String

@@ -1,0 +1,1 @@
+lib/geo/poi_file.mli: Poi

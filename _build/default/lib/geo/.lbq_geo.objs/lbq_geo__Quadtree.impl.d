@@ -1,0 +1,1 @@
+lib/geo/quadtree.ml: Array Coord Float List Poi

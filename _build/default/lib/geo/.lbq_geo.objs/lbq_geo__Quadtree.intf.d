@@ -1,0 +1,1 @@
+lib/geo/quadtree.mli: Coord Poi

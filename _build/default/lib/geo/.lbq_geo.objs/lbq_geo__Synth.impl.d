@@ -1,0 +1,1 @@
+lib/geo/synth.ml: Array Char Coord Drbg Float Lbq_crypto List Poi Printf String

@@ -1,0 +1,1 @@
+lib/geo/synth.mli: Coord Poi

@@ -1,0 +1,56 @@
+(* Planar coordinates.  The paper's records carry GPS coordinates
+   (x_gps, y_gps); we model a city-scale area in a local equirectangular
+   projection (metres), which keeps all geometry Euclidean. *)
+
+type t = { x : float; y : float }
+
+let make ~x ~y = { x; y }
+let x t = t.x
+let y t = t.y
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  Float.sqrt ((dx *. dx) +. (dy *. dy))
+
+let distance_sq a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let equal a b = Float.equal a.x b.x && Float.equal a.y b.y
+
+let pp fmt t = Format.fprintf fmt "(%.1f, %.1f)" t.x t.y
+
+(* A closed axis-aligned rectangle. *)
+module Rect = struct
+  type nonrec t = { min : t; max : t }
+
+  let make ~min ~max =
+    if min.x > max.x || min.y > max.y then invalid_arg "Coord.Rect.make: inverted";
+    { min; max }
+
+  let min t = t.min
+  let max t = t.max
+  let width t = t.max.x -. t.min.x
+  let height t = t.max.y -. t.min.y
+
+  let contains t c =
+    c.x >= t.min.x && c.x <= t.max.x && c.y >= t.min.y && c.y <= t.max.y
+
+  let center t =
+    { x = (t.min.x +. t.max.x) /. 2.; y = (t.min.y +. t.max.y) /. 2. }
+
+  (* The square cloaking region of side [side] centred on [c] (clamped to
+     keep the square inside [bound] when possible). *)
+  let square_around ~bound ~side c =
+    let half = side /. 2. in
+    let clamp v lo hi = Float.min (Float.max v lo) hi in
+    let cx =
+      if width bound <= side then center bound |> fun p -> p.x
+      else clamp c.x (bound.min.x +. half) (bound.max.x -. half)
+    and cy =
+      if height bound <= side then center bound |> fun p -> p.y
+      else clamp c.y (bound.min.y +. half) (bound.max.y -. half)
+    in
+    { min = { x = cx -. half; y = cy -. half };
+      max = { x = cx +. half; y = cy +. half } }
+end

@@ -1,0 +1,29 @@
+(** Planar coordinates in a local projection (metres). *)
+
+type t
+
+val make : x:float -> y:float -> t
+val x : t -> float
+val y : t -> float
+val distance : t -> t -> float
+val distance_sq : t -> t -> float
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Closed axis-aligned rectangles. *)
+module Rect : sig
+  type coord := t
+  type t
+
+  val make : min:coord -> max:coord -> t
+  val min : t -> coord
+  val max : t -> coord
+  val width : t -> float
+  val height : t -> float
+  val contains : t -> coord -> bool
+  val center : t -> coord
+
+  (** The user's square cloaking region: side [side], centred on the user,
+      clamped inside [bound] when it fits. *)
+  val square_around : bound:t -> side:float -> coord -> t
+end

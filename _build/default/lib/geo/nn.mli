@@ -1,0 +1,11 @@
+(** Plaintext nearest-neighbour reference search — the ground truth that
+    examples and tests compare protocol answers against.  Dummy records
+    are always excluded. *)
+
+(** The [k] nearest POIs, closest first (ties by id). *)
+val k_nearest : k:int -> from:Coord.t -> Poi.t list -> Poi.t list
+
+val nearest : from:Coord.t -> Poi.t list -> Poi.t option
+
+(** All POIs within [radius] metres, closest first. *)
+val within : radius:float -> from:Coord.t -> Poi.t list -> Poi.t list

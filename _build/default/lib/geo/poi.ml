@@ -1,0 +1,113 @@
+(* Point-of-interest records: GPS coordinates plus a name/description, with
+   a fixed-width binary encoding.  Fixed width matters: every cell of the
+   private grid must hold byte-identical-length data or the block lengths
+   would leak how many real POIs a cell holds (§III-B). *)
+
+type t = {
+  id : int;                (* record id, unique per database *)
+  position : Coord.t;
+  category : string;       (* e.g. "atm", "cafe" — max 11 bytes *)
+  name : string;           (* max 27 bytes *)
+  dummy : bool;            (* padding record (never shown to users) *)
+}
+
+let max_category_len = 11
+let max_name_len = 27
+
+(* id(4) ‖ flags(1) ‖ x(8) ‖ y(8) ‖ cat(1+11) ‖ name(1+27) + 3 reserved *)
+let encoded_size = 64
+
+let make ~id ~position ~category ~name =
+  if id < 0 || id > 0x7FFFFFFF then invalid_arg "Poi.make: id out of range";
+  if String.length category > max_category_len then
+    invalid_arg "Poi.make: category too long";
+  if String.length name > max_name_len then invalid_arg "Poi.make: name too long";
+  { id; position; category; name; dummy = false }
+
+let dummy ~id =
+  { id; position = Coord.make ~x:0. ~y:0.; category = ""; name = ""; dummy = true }
+
+let id t = t.id
+let position t = t.position
+let category t = t.category
+let name t = t.name
+let is_dummy t = t.dummy
+
+let equal a b =
+  a.id = b.id && Coord.equal a.position b.position
+  && String.equal a.category b.category && String.equal a.name b.name
+  && Bool.equal a.dummy b.dummy
+
+let pp fmt t =
+  if t.dummy then Format.fprintf fmt "<dummy #%d>" t.id
+  else
+    Format.fprintf fmt "#%d %s %a [%s]" t.id t.name Coord.pp t.position t.category
+
+(* Fixed-width binary encoding. *)
+
+let put_u32 b off v =
+  for k = 0 to 3 do
+    Bytes.set b (off + k) (Char.chr ((v lsr ((3 - k) * 8)) land 0xff))
+  done
+
+let get_u32 s off =
+  let v = ref 0 in
+  for k = 0 to 3 do
+    v := (!v lsl 8) lor Char.code (String.get s (off + k))
+  done;
+  !v
+
+let put_f64 b off v =
+  let bits = Int64.bits_of_float v in
+  for k = 0 to 7 do
+    Bytes.set b (off + k)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits ((7 - k) * 8)) 0xFFL)))
+  done
+
+let get_f64 s off =
+  let bits = ref 0L in
+  for k = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code (String.get s (off + k))))
+  done;
+  Int64.float_of_bits !bits
+
+let put_str b off maxlen s =
+  Bytes.set b off (Char.chr (String.length s));
+  Bytes.blit_string s 0 b (off + 1) (String.length s);
+  ignore maxlen
+
+let get_str s off maxlen =
+  let len = Char.code (String.get s off) in
+  if len > maxlen then invalid_arg "Poi.decode: corrupt string length";
+  String.sub s (off + 1) len
+
+let encode (t : t) : string =
+  let b = Bytes.make encoded_size '\x00' in
+  put_u32 b 0 t.id;
+  Bytes.set b 4 (if t.dummy then '\x01' else '\x00');
+  put_f64 b 5 (Coord.x t.position);
+  put_f64 b 13 (Coord.y t.position);
+  put_str b 21 max_category_len t.category;
+  put_str b 33 max_name_len t.name;
+  Bytes.unsafe_to_string b
+
+let decode (s : string) : t =
+  if String.length s <> encoded_size then invalid_arg "Poi.decode: bad length";
+  let flags = Char.code s.[4] in
+  if flags land (lnot 1) <> 0 then invalid_arg "Poi.decode: corrupt flags";
+  { id = get_u32 s 0;
+    dummy = flags land 1 = 1;
+    position = Coord.make ~x:(get_f64 s 5) ~y:(get_f64 s 13);
+    category = get_str s 21 max_category_len;
+    name = get_str s 33 max_name_len }
+
+(* Encode/decode a fixed-size list of records (one private-grid cell). *)
+let encode_block (pois : t list) : string =
+  String.concat "" (List.map encode pois)
+
+let decode_block (s : string) : t list =
+  if String.length s mod encoded_size <> 0 then
+    invalid_arg "Poi.decode_block: bad length";
+  let k = String.length s / encoded_size in
+  List.init k (fun i -> decode (String.sub s (i * encoded_size) encoded_size))

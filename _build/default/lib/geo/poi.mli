@@ -1,0 +1,35 @@
+(** Point-of-interest records with a fixed-width binary encoding.
+
+    Fixed width matters: private-grid cells must hold byte-identical-length
+    data or block lengths would leak cell occupancy (§III-B). *)
+
+type t
+
+val max_category_len : int
+val max_name_len : int
+
+(** Bytes per encoded record. *)
+val encoded_size : int
+
+val make : id:int -> position:Coord.t -> category:string -> name:string -> t
+
+(** Padding record (flagged; filtered from all query answers). *)
+val dummy : id:int -> t
+
+val id : t -> int
+val position : t -> Coord.t
+val category : t -> string
+val name : t -> string
+val is_dummy : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode : t -> string
+
+(** Raises [Invalid_argument] on wrong length or corrupt content. *)
+val decode : string -> t
+
+(** Concatenated fixed-width records (one private-grid cell block). *)
+val encode_block : t list -> string
+
+val decode_block : string -> t list

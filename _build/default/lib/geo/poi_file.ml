@@ -1,0 +1,90 @@
+(* Plain-text POI database files: a versioned header plus one
+   tab-separated record per line.
+
+     # lbq-poi v1
+     <id> TAB <x> TAB <y> TAB <category> TAB <name>
+
+   Dummies are never written (they are per-deployment padding, not data).
+   Parsing is strict and reports the first offending line. *)
+
+exception Parse_error of { line : int; message : string }
+
+let header = "# lbq-poi v1"
+
+let fail line message = raise (Parse_error { line; message })
+
+let no_control field s =
+  String.iter
+    (fun c -> if c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg ("Poi_file: " ^ field ^ " contains control characters"))
+    s;
+  s
+
+let to_line (p : Poi.t) : string =
+  ignore (no_control "category" (Poi.category p));
+  ignore (no_control "name" (Poi.name p));
+  Printf.sprintf "%d\t%.3f\t%.3f\t%s\t%s" (Poi.id p)
+    (Coord.x (Poi.position p))
+    (Coord.y (Poi.position p))
+    (Poi.category p) (Poi.name p)
+
+let of_line ~line (s : string) : Poi.t =
+  match String.split_on_char '\t' s with
+  | [ id; x; y; category; name ] ->
+    let id =
+      match int_of_string_opt id with
+      | Some v when v >= 0 -> v
+      | _ -> fail line "bad id"
+    in
+    let coord name v =
+      match float_of_string_opt v with
+      | Some f when Float.is_finite f -> f
+      | _ -> fail line ("bad " ^ name)
+    in
+    let x = coord "x" x and y = coord "y" y in
+    (try Poi.make ~id ~position:(Coord.make ~x ~y) ~category ~name
+     with Invalid_argument m -> fail line m)
+  | _ -> fail line "expected 5 tab-separated fields"
+
+let save_channel (oc : out_channel) (pois : Poi.t list) : unit =
+  output_string oc header;
+  output_char oc '\n';
+  List.iter
+    (fun p ->
+      if not (Poi.is_dummy p) then begin
+        output_string oc (to_line p);
+        output_char oc '\n'
+      end)
+    pois
+
+let load_channel (ic : in_channel) : Poi.t list =
+  let first = try input_line ic with End_of_file -> fail 1 "empty file" in
+  if not (String.equal (String.trim first) header) then
+    fail 1 (Printf.sprintf "bad header (expected %S)" header);
+  let rec go acc line =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | s ->
+      let trimmed = String.trim s in
+      if String.equal trimmed "" || String.length trimmed > 0 && trimmed.[0] = '#'
+      then go acc (line + 1)
+      else go (of_line ~line s :: acc) (line + 1)
+  in
+  let pois = go [] 2 in
+  (* ids must be unique: duplicates would break the record model. *)
+  let seen = Hashtbl.create 64 in
+  List.iteri
+    (fun i p ->
+      if Hashtbl.mem seen (Poi.id p) then
+        fail (i + 2) (Printf.sprintf "duplicate id %d" (Poi.id p));
+      Hashtbl.replace seen (Poi.id p) ())
+    pois;
+  pois
+
+let save (path : string) (pois : Poi.t list) : unit =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save_channel oc pois)
+
+let load (path : string) : Poi.t list =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load_channel ic)

@@ -1,0 +1,17 @@
+(** Plain-text POI database files (versioned header + tab-separated
+    records).  Dummies are never written; parsing is strict. *)
+
+exception Parse_error of { line : int; message : string }
+
+val header : string
+
+val save : string -> Poi.t list -> unit
+val load : string -> Poi.t list
+
+val save_channel : out_channel -> Poi.t list -> unit
+val load_channel : in_channel -> Poi.t list
+
+(** One-record conversions (exposed for tests). *)
+val to_line : Poi.t -> string
+
+val of_line : line:int -> string -> Poi.t

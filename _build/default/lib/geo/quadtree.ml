@@ -1,0 +1,156 @@
+(* Region quadtree over POIs: the spatial index a production LS would put
+   under its database (the paper's server "spends its resources to
+   compile information about various interesting POIs").  Pruned
+   best-first search gives k-NN and range queries in O(log n + k)-ish
+   time; the brute-force {!Nn} remains the oracle it is tested against. *)
+
+type node =
+  | Leaf of Poi.t list
+  | Split of { centre : Coord.t; quads : node array (* sw se nw ne *) }
+
+type t = {
+  area : Coord.Rect.t;
+  capacity : int;     (* max POIs per leaf before splitting *)
+  root : node;
+  size : int;
+}
+
+let size t = t.size
+let area t = t.area
+let capacity t = t.capacity
+
+let quadrant_of centre p =
+  let east = Coord.x p >= Coord.x centre in
+  let north = Coord.y p >= Coord.y centre in
+  match north, east with
+  | false, false -> 0 (* sw *)
+  | false, true -> 1  (* se *)
+  | true, false -> 2  (* nw *)
+  | true, true -> 3   (* ne *)
+
+let quadrant_rect (rect : Coord.Rect.t) centre = function
+  | 0 -> Coord.Rect.make ~min:(Coord.Rect.min rect) ~max:centre
+  | 1 ->
+    Coord.Rect.make
+      ~min:(Coord.make ~x:(Coord.x centre) ~y:(Coord.y (Coord.Rect.min rect)))
+      ~max:(Coord.make ~x:(Coord.x (Coord.Rect.max rect)) ~y:(Coord.y centre))
+  | 2 ->
+    Coord.Rect.make
+      ~min:(Coord.make ~x:(Coord.x (Coord.Rect.min rect)) ~y:(Coord.y centre))
+      ~max:(Coord.make ~x:(Coord.x centre) ~y:(Coord.y (Coord.Rect.max rect)))
+  | 3 -> Coord.Rect.make ~min:centre ~max:(Coord.Rect.max rect)
+  | _ -> invalid_arg "Quadtree.quadrant_rect"
+
+(* Squared distance from a point to the closest point of a rectangle. *)
+let rect_distance_sq (rect : Coord.Rect.t) (p : Coord.t) : float =
+  let clamp v lo hi = Float.min (Float.max v lo) hi in
+  let cx =
+    clamp (Coord.x p) (Coord.x (Coord.Rect.min rect)) (Coord.x (Coord.Rect.max rect))
+  in
+  let cy =
+    clamp (Coord.y p) (Coord.y (Coord.Rect.min rect)) (Coord.y (Coord.Rect.max rect))
+  in
+  Coord.distance_sq p (Coord.make ~x:cx ~y:cy)
+
+let build ?(capacity = 8) ~(area : Coord.Rect.t) (pois : Poi.t list) : t =
+  if capacity <= 0 then invalid_arg "Quadtree.build: capacity <= 0";
+  let pois = List.filter (fun p -> not (Poi.is_dummy p)) pois in
+  List.iter
+    (fun p ->
+      if not (Coord.Rect.contains area (Poi.position p)) then
+        invalid_arg "Quadtree.build: POI outside the area")
+    pois;
+  (* depth bound guards against splitting forever on coincident points *)
+  let rec make rect depth items =
+    if List.length items <= capacity || depth > 24 then Leaf items
+    else begin
+      let centre = Coord.Rect.center rect in
+      let buckets = Array.make 4 [] in
+      List.iter
+        (fun p ->
+          let qd = quadrant_of centre (Poi.position p) in
+          buckets.(qd) <- p :: buckets.(qd))
+        items;
+      Split
+        { centre;
+          quads =
+            Array.mapi
+              (fun i bucket -> make (quadrant_rect rect centre i) (depth + 1) bucket)
+              buckets }
+    end
+  in
+  { area; capacity; root = make area 0 pois; size = List.length pois }
+
+(* All POIs within [radius] of [from], closest first. *)
+let within (t : t) ~(radius : float) ~(from : Coord.t) : Poi.t list =
+  let r2 = radius *. radius in
+  let acc = ref [] in
+  let rec go rect node =
+    if rect_distance_sq rect from <= r2 then
+      match node with
+      | Leaf items ->
+        List.iter
+          (fun p ->
+            if Coord.distance_sq from (Poi.position p) <= r2 then
+              acc := p :: !acc)
+          items
+      | Split { centre; quads } ->
+        Array.iteri (fun i q -> go (quadrant_rect rect centre i) q) quads
+  in
+  go t.area t.root;
+  List.sort
+    (fun a b ->
+      compare
+        (Coord.distance_sq from (Poi.position a), Poi.id a)
+        (Coord.distance_sq from (Poi.position b), Poi.id b))
+    !acc
+
+(* k nearest, closest first; ties broken by id (same order as Nn). *)
+let k_nearest (t : t) ~(k : int) ~(from : Coord.t) : Poi.t list =
+  if k < 0 then invalid_arg "Quadtree.k_nearest: negative k";
+  if k = 0 then []
+  else begin
+    (* Best list kept sorted ascending, worst last; length <= k. *)
+    let best = ref [] and best_len = ref 0 in
+    let key p = Coord.distance_sq from (Poi.position p), Poi.id p in
+    let worst_key () =
+      match List.rev !best with
+      | last :: _ when !best_len >= k -> Some (key last)
+      | _ -> None
+    in
+    let consider p =
+      let insert () =
+        best := List.sort (fun a b -> compare (key a) (key b)) (p :: !best);
+        if !best_len >= k then
+          best := List.filteri (fun i _ -> i < k) !best
+        else incr best_len
+      in
+      match worst_key () with
+      | Some w when compare (key p) w >= 0 -> ()
+      | _ -> insert ()
+    in
+    let rec go rect node =
+      let prune =
+        match worst_key () with
+        | Some (w2, _) -> rect_distance_sq rect from > w2
+        | None -> false
+      in
+      if not prune then
+        match node with
+        | Leaf items -> List.iter consider items
+        | Split { centre; quads } ->
+          (* Visit children nearest-first for effective pruning. *)
+          let order =
+            List.init 4 (fun i ->
+                let r = quadrant_rect rect centre i in
+                rect_distance_sq r from, i, r)
+            |> List.sort compare
+          in
+          List.iter (fun (_, i, r) -> go r quads.(i)) order
+    in
+    go t.area t.root;
+    !best
+  end
+
+let nearest t ~from =
+  match k_nearest t ~k:1 ~from with p :: _ -> Some p | [] -> None

@@ -1,0 +1,21 @@
+(** Region quadtree over POIs: pruned best-first k-NN and range queries.
+    Result order matches {!Nn} exactly (distance, then id); dummies are
+    excluded at build time. *)
+
+type t
+
+(** [capacity] is the leaf split threshold (default 8).  Raises on a POI
+    outside [area]. *)
+val build : ?capacity:int -> area:Coord.Rect.t -> Poi.t list -> t
+
+val size : t -> int
+val area : t -> Coord.Rect.t
+val capacity : t -> int
+
+(** All POIs within [radius], closest first. *)
+val within : t -> radius:float -> from:Coord.t -> Poi.t list
+
+(** The [k] nearest, closest first (ties by id). *)
+val k_nearest : t -> k:int -> from:Coord.t -> Poi.t list
+
+val nearest : t -> from:Coord.t -> Poi.t option

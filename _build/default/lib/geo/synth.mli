@@ -1,0 +1,27 @@
+(** Deterministic synthetic POI workloads (clustered city layouts) and
+    user trajectories.  The paper's own evaluation uses synthetic data;
+    these generators add realistic spatial skew. *)
+
+type spec = {
+  area : Coord.Rect.t;
+  count : int;
+  clusters : int;
+  cluster_fraction : float;
+  cluster_radius : float;
+  categories : string array;
+}
+
+val default_categories : string array
+
+(** A [side]-metre square city. *)
+val city :
+  ?side:float -> ?count:int -> ?clusters:int -> ?cluster_fraction:float ->
+  ?cluster_radius:float -> ?categories:string array -> unit -> spec
+
+(** Deterministic in [seed]. *)
+val generate : ?seed:string -> spec -> Poi.t list
+
+(** Random walk of [steps] positions, [stride] metres apart. *)
+val walk :
+  ?seed:string -> area:Coord.Rect.t -> steps:int -> stride:float -> unit ->
+  Coord.t list

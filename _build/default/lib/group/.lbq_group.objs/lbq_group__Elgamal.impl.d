@@ -1,0 +1,1 @@
+lib/group/elgamal.ml: Lbq_bignum Schnorr Z

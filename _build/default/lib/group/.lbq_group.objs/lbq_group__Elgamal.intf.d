@@ -1,0 +1,1 @@
+lib/group/elgamal.mli: Lbq_bignum Schnorr Z

@@ -1,0 +1,1 @@
+lib/group/paillier.ml: Barrett Lbq_bignum Lbq_numth Primegen Z

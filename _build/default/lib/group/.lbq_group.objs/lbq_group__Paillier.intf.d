@@ -1,0 +1,1 @@
+lib/group/paillier.mli: Lbq_bignum Z

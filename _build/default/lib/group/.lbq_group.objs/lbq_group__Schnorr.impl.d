@@ -1,0 +1,1 @@
+lib/group/schnorr.ml: Barrett Lazy Lbq_bignum Lbq_numth Primegen Z

@@ -1,0 +1,1 @@
+lib/group/schnorr.mli: Barrett Lbq_bignum Z

@@ -1,0 +1,92 @@
+(* Schnorr groups: the prime-order subgroup of F_p* used by the ElGamal
+   oblivious transfer.  The paper fixes |p| = 1024, |q| = 160 with
+   q | (p - 1), g of order q, and publishes (G, g, p, q) to all parties
+   (§II-A, §VI-A). *)
+
+open Lbq_bignum
+open Lbq_numth
+
+type t = {
+  p : Z.t;            (* field modulus, prime *)
+  q : Z.t;            (* subgroup order, prime, q | p - 1 *)
+  g : Z.t;            (* generator of the order-q subgroup *)
+  ctx : Barrett.t;    (* reduction context for p *)
+}
+
+let p t = t.p
+let q t = t.q
+let g t = t.g
+let ctx t = t.ctx
+
+let p_bits t = Z.numbits t.p
+let q_bits t = Z.numbits t.q
+
+(* Group operations in the subgroup. *)
+let mul t a b = Barrett.mulmod t.ctx a b
+let pow t base_ e = Barrett.powm t.ctx base_ (Z.erem e t.q)
+let pow_g t e = pow t t.g e
+let inv t a = Z.invert a t.p
+let div t a b = mul t a (inv t b)
+
+(* Membership check: x in [1, p) and x^q = 1. *)
+let mem t x =
+  Z.sign x > 0 && Z.lt x t.p && Z.equal (Barrett.powm t.ctx x t.q) Z.one
+
+let of_params ~p ~q ~g =
+  let t = { p; q; g; ctx = Barrett.create p } in
+  if not (Z.is_zero (Z.erem (Z.pred p) q)) then
+    invalid_arg "Schnorr.of_params: q does not divide p - 1";
+  if not (mem t g) || Z.equal g Z.one then
+    invalid_arg "Schnorr.of_params: g does not generate the order-q subgroup";
+  t
+
+(* Generate a fresh group: prime q, prime p = 2kq + 1, and g = a^((p-1)/q)
+   for the first a making g <> 1 (the paper finds a generator a and sets
+   g = a^((p-1)/q) too, §VI-A). *)
+let generate ~p_bits ~q_bits rand =
+  let q = Primegen.random_prime ~bits:q_bits rand in
+  let _k, p = Primegen.schnorr_modulus ~p_bits ~q rand in
+  let ctx = Barrett.create p in
+  let cofactor = Z.div (Z.pred p) q in
+  let rec find_g () =
+    let a = Z.add Z.two (Z.random_below ~bound:(Z.sub p (Z.of_int 3)) rand) in
+    let g = Barrett.powm ctx a cofactor in
+    if Z.equal g Z.one then find_g () else g
+  in
+  let g = find_g () in
+  { p; q; g; ctx }
+
+(* Pre-generated parameter sets (produced by [generate] with this library;
+   fixed so tests and benches do not pay generation cost, exactly as the
+   paper fixes parameters "for the duration of a round").  Validated by
+   [of_params] on first use. *)
+
+(* |p| = 1024, |q| = 160: the paper's experimental setting. *)
+let paper_hex =
+  ( "831b0b76abd387057c9e89893a4ac4b7a14ddeaea29d3b79d10fbd097b46f889357f5875ddb88937723ac46e389d0350005b9aa71445d1b2b7682d8b9a2cf4c6b981ebe940acbf60c94bcba616c550c2e4fe86e78ddb65542e64fb014b346a88cef6aad1dc8f561f0bf374fcdcd4286ba17ce531311a64a5eea79bfcd48ea253",
+    "adb1eb3df61a7108efedc5c51979a1aa0a59436f",
+    "431dd5110c83f14736a591925dfcc7db5bb3ee4463155dc739de2ed631e3742281da818d910d3ad7495d1701f52e1bf47bd4eabc664426cdf654f1821406f68b12c67bce27d04b4dc9aed76c3550b0ba8fb5e84de6ddb1b283787d8a30378b36577880b835f59ad6ff5e638f96fa8c5d1767ff42c4d5caa68d98e4d29280f12" )
+
+(* |p| = 512, |q| = 160: the middle point of the security-parameter
+   ablation bench. *)
+let mid_hex =
+  ( "be2726958a88e5a3debb566ba3063ce089ac91eec9ef2afb2afdae09571255d8d9164f0fe48e02c9510cab245710d67b261935752645263b68e9004b702ddce5",
+    "98a68ef1084f75ec805d93018f048793d86de53b",
+    "b55275d533afd0126cad3edcbdb415e965fd99f050b4bdc3ce8c1cdd66d1d92ab782e44b8129cffc917d4f8d9c51aabb88b8ffe86bfa28bc599e2e8eca6bdd48" )
+
+(* |p| = 256, |q| = 160: small and fast, for unit tests. *)
+let test_hex =
+  ( "f79f6ef767dd062bbf56dfcd89fa8fb67a66268328305bfa09393c2132e61d29",
+    "c906199e27e4b63ffcd19402ea1f9d2919a56a19",
+    "b8c55d3b753e49d82373fbb93bcd2c9a5ba051e4b6b6588e93045b1206e60939" )
+
+let of_hex (ph, qh, gh) =
+  of_params ~p:(Z.of_hex ph) ~q:(Z.of_hex qh) ~g:(Z.of_hex gh)
+
+let paper = lazy (of_hex paper_hex)
+let mid = lazy (of_hex mid_hex)
+let testing = lazy (of_hex test_hex)
+
+let paper_group () = Lazy.force paper
+let mid_group () = Lazy.force mid
+let test_group () = Lazy.force testing

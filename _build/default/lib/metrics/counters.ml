@@ -1,0 +1,44 @@
+(* Operation and traffic counters.
+
+   The paper's Tables I and II are analytic: stage-1 cost in modular
+   exponentiations, stage-2 cost in modular multiplications, communication
+   in multiples of the element length L.  Protocol code increments these
+   counters at each site where it actually performs the counted operation,
+   and the bench harness checks the measured totals against the closed
+   forms. *)
+
+type t = {
+  mutable user_exp : int;      (* modular exponentiations by the user *)
+  mutable server_exp : int;    (* ... by the server *)
+  mutable user_mult : int;     (* modular multiplications by the user *)
+  mutable server_mult : int;   (* ... by the server *)
+  mutable user_bytes : int;    (* bytes sent by the user *)
+  mutable server_bytes : int;  (* bytes sent by the server *)
+}
+
+let create () =
+  { user_exp = 0; server_exp = 0; user_mult = 0; server_mult = 0;
+    user_bytes = 0; server_bytes = 0 }
+
+let reset t =
+  t.user_exp <- 0; t.server_exp <- 0;
+  t.user_mult <- 0; t.server_mult <- 0;
+  t.user_bytes <- 0; t.server_bytes <- 0
+
+let copy t = { t with user_exp = t.user_exp }
+
+let user_exp t n = t.user_exp <- t.user_exp + n
+let server_exp t n = t.server_exp <- t.server_exp + n
+let user_mult t n = t.user_mult <- t.user_mult + n
+let server_mult t n = t.server_mult <- t.server_mult + n
+let user_bytes t n = t.user_bytes <- t.user_bytes + n
+let server_bytes t n = t.server_bytes <- t.server_bytes + n
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[user: %d exp, %d mult, %d B sent; server: %d exp, %d mult, %d B sent@]"
+    t.user_exp t.user_mult t.user_bytes t.server_exp t.server_mult
+    t.server_bytes
+
+(* A shared do-nothing sink for callers that don't measure. *)
+let null = create ()

@@ -1,0 +1,29 @@
+(** Operation and traffic counters backing the Table I / Table II
+    reproduction: protocol code increments them at each modular
+    exponentiation / multiplication / message it performs, and the bench
+    harness compares the totals with the paper's closed forms. *)
+
+type t = {
+  mutable user_exp : int;
+  mutable server_exp : int;
+  mutable user_mult : int;
+  mutable server_mult : int;
+  mutable user_bytes : int;
+  mutable server_bytes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val user_exp : t -> int -> unit
+val server_exp : t -> int -> unit
+val user_mult : t -> int -> unit
+val server_mult : t -> int -> unit
+val user_bytes : t -> int -> unit
+val server_bytes : t -> int -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** Shared sink for unmeasured runs. *)
+val null : t

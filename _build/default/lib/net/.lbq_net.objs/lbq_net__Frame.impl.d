@@ -1,0 +1,1 @@
+lib/net/frame.ml: Char Lbq_crypto Printf String

@@ -1,0 +1,1 @@
+lib/net/relay.ml: Bytes Char Frame Link List Printf String

@@ -1,0 +1,1 @@
+lib/net/relay.mli: Frame Link

@@ -1,0 +1,1 @@
+lib/net/session.ml: Client Frame Lbq_bignum Lbq_core Lbq_geo Lbq_pir List Params Printf Protocol Relay Server String Unix Wire

@@ -1,0 +1,1 @@
+lib/net/session.mli: Client Lbq_core Lbq_geo Lbq_pir Protocol Relay Server

@@ -1,0 +1,91 @@
+(* Wire framing for protocol messages travelling through the mobile
+   service provider: a fixed header, a type tag, and a CRC-32 trailer.
+
+     magic (2 B) | type (1 B) | length (4 B) | payload | crc32 (4 B)
+
+   The CRC covers type + length + payload and catches transport
+   corruption (radio links, §II-B's mobile setting); malicious
+   modification is caught by the protocol's own MACs. *)
+
+module Crc32 = Lbq_crypto.Crc32
+
+exception Bad_frame of string
+
+type kind =
+  | Bootstrap_request
+  | Bootstrap
+  | Ot_query
+  | Ot_response
+  | Pir_query
+  | Pir_response
+  | Error_report
+
+let kind_to_byte = function
+  | Bootstrap_request -> 0
+  | Bootstrap -> 1
+  | Ot_query -> 2
+  | Ot_response -> 3
+  | Pir_query -> 4
+  | Pir_response -> 5
+  | Error_report -> 6
+
+let kind_of_byte = function
+  | 0 -> Bootstrap_request
+  | 1 -> Bootstrap
+  | 2 -> Ot_query
+  | 3 -> Ot_response
+  | 4 -> Pir_query
+  | 5 -> Pir_response
+  | 6 -> Error_report
+  | n -> raise (Bad_frame (Printf.sprintf "unknown frame type %d" n))
+
+let kind_name = function
+  | Bootstrap_request -> "bootstrap-request"
+  | Bootstrap -> "bootstrap"
+  | Ot_query -> "ot-query"
+  | Ot_response -> "ot-response"
+  | Pir_query -> "pir-query"
+  | Pir_response -> "pir-response"
+  | Error_report -> "error"
+
+type t = { kind : kind; payload : string }
+
+let magic = "\x4c\x51" (* "LQ" *)
+
+let header_len = 2 + 1 + 4
+let trailer_len = 4
+let overhead = header_len + trailer_len
+
+let u32 v =
+  String.init 4 (fun k -> Char.chr ((v lsr ((3 - k) * 8)) land 0xff))
+
+let read_u32 s off =
+  let v = ref 0 in
+  for k = 0 to 3 do
+    v := (!v lsl 8) lor Char.code s.[off + k]
+  done;
+  !v
+
+let encode (f : t) : string =
+  let body =
+    String.make 1 (Char.chr (kind_to_byte f.kind))
+    ^ u32 (String.length f.payload)
+    ^ f.payload
+  in
+  magic ^ body ^ u32 (Crc32.digest body)
+
+let encoded_len (f : t) : int = overhead + String.length f.payload
+
+let decode (s : string) : t =
+  if String.length s < overhead then raise (Bad_frame "truncated frame");
+  if not (String.equal (String.sub s 0 2) magic) then
+    raise (Bad_frame "bad magic");
+  let kind = kind_of_byte (Char.code s.[2]) in
+  let len = read_u32 s 3 in
+  if len < 0 || String.length s <> overhead + len then
+    raise (Bad_frame "bad length");
+  (* body = type (1) + length (4) + payload, exactly what encode CRCs. *)
+  let body = String.sub s 2 (5 + len) in
+  let crc = read_u32 s (header_len + len) in
+  if crc <> Crc32.digest body then raise (Bad_frame "crc mismatch");
+  { kind; payload = String.sub s header_len len }

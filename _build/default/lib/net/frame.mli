@@ -1,0 +1,34 @@
+(** Wire framing for messages through the mobile service provider:
+    magic ‖ type ‖ length ‖ payload ‖ CRC-32. *)
+
+exception Bad_frame of string
+
+type kind =
+  | Bootstrap_request
+  | Bootstrap
+  | Ot_query
+  | Ot_response
+  | Pir_query
+  | Pir_response
+  | Error_report
+
+val kind_name : kind -> string
+
+type t = { kind : kind; payload : string }
+
+(** Header + trailer bytes added to every payload. *)
+val overhead : int
+
+val header_len : int
+
+val encode : t -> string
+
+(** Raises {!Bad_frame} on bad magic, type, length, or CRC. *)
+val decode : string -> t
+
+val encoded_len : t -> int
+
+(** Big-endian u32 helpers (shared with the padding layer). *)
+val u32 : int -> string
+
+val read_u32 : string -> int -> int

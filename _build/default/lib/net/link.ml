@@ -1,0 +1,29 @@
+(* Simulated mobile link: one-way latency plus serialisation delay at a
+   given bandwidth.  The paper's evaluation stops at CPU time and byte
+   counts; this substrate lets the examples and benches put the protocol
+   on 2012-era radio links (GPRS/3G/LTE) and report end-to-end round
+   latency — the number a mobile user actually experiences. *)
+
+type t = {
+  name : string;
+  latency_s : float;        (* one-way propagation delay *)
+  bandwidth_bps : float;    (* bits per second, each direction *)
+}
+
+let make ~name ~latency_s ~bandwidth_bps =
+  if latency_s < 0. || bandwidth_bps <= 0. then invalid_arg "Link.make";
+  { name; latency_s; bandwidth_bps }
+
+let name t = t.name
+
+(* Seconds to deliver [bytes] one way. *)
+let transfer_time t ~bytes =
+  t.latency_s +. (float_of_int (8 * bytes) /. t.bandwidth_bps)
+
+(* Period-appropriate profiles (one-way latency, downlink-ish rate). *)
+let gprs = make ~name:"GPRS" ~latency_s:0.300 ~bandwidth_bps:40_000.
+let hsdpa_3g = make ~name:"3G/HSDPA" ~latency_s:0.100 ~bandwidth_bps:1_000_000.
+let lte = make ~name:"LTE" ~latency_s:0.025 ~bandwidth_bps:20_000_000.
+let wifi = make ~name:"WiFi" ~latency_s:0.003 ~bandwidth_bps:50_000_000.
+
+let profiles = [ gprs; hsdpa_3g; lte; wifi ]

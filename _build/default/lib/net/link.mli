@@ -1,0 +1,17 @@
+(** Simulated mobile link: one-way latency + serialisation delay. *)
+
+type t
+
+val make : name:string -> latency_s:float -> bandwidth_bps:float -> t
+val name : t -> string
+
+(** Seconds to deliver [bytes] one way. *)
+val transfer_time : t -> bytes:int -> float
+
+(** Period-appropriate profiles (the paper is a 2012 mobile setting). *)
+val gprs : t
+
+val hsdpa_3g : t
+val lte : t
+val wifi : t
+val profiles : t list

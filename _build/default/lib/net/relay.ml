@@ -1,0 +1,69 @@
+(* The mobile service provider (SP) of the system model (§II-B): it
+   maintains the user <-> LS connection and forwards frames.  The model
+   assumes the SP is honest-but-curious and does NOT collude with the LS;
+   this module makes precise what such an SP actually observes — frame
+   kinds and sizes, never cell indices or coordinates — so the assumption
+   can be inspected and tested rather than taken on faith. *)
+
+type direction = Uplink | Downlink
+
+type observation = {
+  direction : direction;
+  kind : Frame.kind;
+  bytes : int;        (* full frame length, header + payload + crc *)
+}
+
+type t = {
+  link : Link.t;
+  mutable log : observation list;  (* newest first *)
+  mutable clock_s : float;         (* accumulated virtual network time *)
+  mutable corrupt_next : bool;     (* fault injection for tests *)
+}
+
+let create ~link = { link; log = []; clock_s = 0.; corrupt_next = false }
+
+let link t = t.link
+
+(* Fault injection: flip one payload byte of the next forwarded frame. *)
+let corrupt_next_frame t = t.corrupt_next <- true
+
+(* Forward an encoded frame, simulating transfer time and recording what
+   the SP sees.  Returns the (possibly corrupted) bytes the far side
+   receives. *)
+let forward t ~(direction : direction) (bytes : string) : string =
+  let n = String.length bytes in
+  t.clock_s <- t.clock_s +. Link.transfer_time t.link ~bytes:n;
+  (* The SP can parse the framing (it is not encrypted) but sees only
+     type and size. *)
+  (match Frame.decode bytes with
+   | frame ->
+     t.log <- { direction; kind = frame.Frame.kind; bytes = n } :: t.log
+   | exception Frame.Bad_frame _ ->
+     t.log <- { direction; kind = Frame.Error_report; bytes = n } :: t.log);
+  if t.corrupt_next then begin
+    t.corrupt_next <- false;
+    if n > Frame.header_len then begin
+      let b = Bytes.of_string bytes in
+      let i = Frame.header_len in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      Bytes.to_string b
+    end
+    else bytes
+  end
+  else bytes
+
+let observations t = List.rev t.log
+let network_time_s t = t.clock_s
+
+let reset_clock t = t.clock_s <- 0.
+
+(* What the SP learned: the multiset of (direction, kind, size) triples.
+   The test suite asserts this is identical across users querying
+   different cells — i.e. the SP's view is independent of the location. *)
+let view_fingerprint t : string =
+  observations t
+  |> List.map (fun o ->
+      Printf.sprintf "%s|%s|%d"
+        (match o.direction with Uplink -> "up" | Downlink -> "down")
+        (Frame.kind_name o.kind) o.bytes)
+  |> String.concat ";"

@@ -1,0 +1,34 @@
+(** The mobile service provider (SP) of the system model (§II-B):
+    forwards frames, accumulates virtual transfer time, and records
+    exactly what an honest-but-curious SP observes — frame kinds and
+    sizes, never locations.  The test suite asserts that this view is
+    identical for users in different cells. *)
+
+type direction = Uplink | Downlink
+
+type observation = {
+  direction : direction;
+  kind : Frame.kind;
+  bytes : int;
+}
+
+type t
+
+val create : link:Link.t -> t
+val link : t -> Link.t
+
+(** Forward encoded bytes, simulating transfer time; returns what the far
+    side receives (possibly corrupted under fault injection). *)
+val forward : t -> direction:direction -> string -> string
+
+(** Flip one payload byte of the next forwarded frame (tests). *)
+val corrupt_next_frame : t -> unit
+
+(** Oldest first. *)
+val observations : t -> observation list
+
+val network_time_s : t -> float
+val reset_clock : t -> unit
+
+(** Canonical string of the SP's (direction, kind, size) view. *)
+val view_fingerprint : t -> string

@@ -1,0 +1,205 @@
+(* A protocol round over the simulated mobile network: every message is
+   framed, forwarded through the SP relay, checked, parsed, and answered.
+
+   Two things happen here beyond Protocol.run_round:
+
+   - end-to-end timing: the round is broken into user CPU, server CPU and
+     (virtual) network time, so the benches can put the protocol on
+     GPRS/3G/LTE profiles;
+
+   - PIR frame padding: the phi-hiding modulus N is a few bits wider or
+     narrower depending on which prime power pi backs the queried cell,
+     so raw PIR frame sizes would leak a little about the cell.  Both PIR
+     frames are padded to a plan-wide maximum, making every round's
+     traffic pattern identical regardless of the cell (the test suite
+     asserts this on the SP's view). *)
+
+open Lbq_core
+module Gr = Lbq_pir.Gr
+
+exception Network_error of string
+
+type stats = {
+  user_cpu_s : float;
+  server_cpu_s : float;
+  network_s : float;
+  bytes_up : int;
+  bytes_down : int;
+  frames : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Padding                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Upper bound on the PIR modulus width for any cell of [plan]:
+   |Q0| <= |pi| + q_bits + 2 and |Q1| <= q_bits + 2. *)
+let max_n_bytes (plan : Gr.plan) ~q_bits =
+  let max_pi_bits = ref 0 in
+  for i = 0 to Gr.plan_size plan - 1 do
+    max_pi_bits :=
+      max !max_pi_bits (Lbq_bignum.Z.numbits (Gr.plan_slot plan i).Gr.pi)
+  done;
+  let n_bits = !max_pi_bits + q_bits + 2 + (q_bits + 2) in
+  ((n_bits + 7) / 8) + 1
+
+let pad_to (target : int) (payload : string) : string =
+  if String.length payload > target then
+    invalid_arg "Session.pad_to: payload exceeds pad target";
+  Frame.u32 (String.length payload)
+  ^ payload
+  ^ String.make (target - String.length payload) '\x00'
+
+let unpad (padded : string) : string =
+  if String.length padded < 4 then raise (Network_error "short padded payload");
+  let len = Frame.read_u32 padded 0 in
+  if len < 0 || 4 + len > String.length padded then
+    raise (Network_error "bad padding length");
+  String.sub padded 4 len
+
+(* ------------------------------------------------------------------ *)
+(* Driving a round                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+(* Send one frame through the SP and decode it on the far side. *)
+let deliver (relay : Relay.t) ~direction (frame : Frame.t) : Frame.t =
+  let bytes = Frame.encode frame in
+  let received = Relay.forward relay ~direction bytes in
+  match Frame.decode received with
+  | f -> f
+  | exception Frame.Bad_frame m -> raise (Network_error ("frame: " ^ m))
+
+let expect (kind : Frame.kind) (f : Frame.t) : string =
+  if f.Frame.kind <> kind then
+    raise
+      (Network_error
+         (Printf.sprintf "expected %s frame, got %s" (Frame.kind_name kind)
+            (Frame.kind_name f.Frame.kind)));
+  f.Frame.payload
+
+(* Bootstrap: the user downloads the public info through the SP. *)
+let bootstrap (relay : Relay.t) (server : Server.t) : Server.public_info * int =
+  let req = { Frame.kind = Frame.Bootstrap_request; payload = "" } in
+  let _ = deliver relay ~direction:Relay.Uplink req in
+  let payload = Wire.public_info_encode (Server.public_info server) in
+  let resp = deliver relay ~direction:Relay.Downlink
+      { Frame.kind = Frame.Bootstrap; payload }
+  in
+  let payload = expect Frame.Bootstrap resp in
+  (try Wire.public_info_decode payload
+   with Wire.Malformed m -> raise (Network_error ("bootstrap: " ^ m))),
+  Frame.overhead + String.length payload
+
+(* One full round through the relay. *)
+let run_round ?(reuse = false) (relay : Relay.t) (client : Client.t)
+    (server : Server.t) ~(position : Lbq_geo.Coord.t)
+  : Protocol.round_result * stats =
+  let params = Server.params server in
+  let group = params.Params.group in
+  let plan = (Server.public_info server).Server.plan in
+  let pad_n = max_n_bytes plan ~q_bits:params.Params.q_bits in
+  let pad_query = 4 + (8 + (2 * pad_n)) in
+  let pad_resp = 4 + pad_n in
+  let user_cpu = ref 0. and server_cpu = ref 0. in
+  let tick acc f =
+    let t0 = now () in
+    let v = f () in
+    acc := !acc +. (now () -. t0);
+    v
+  in
+  Relay.reset_clock relay;
+  let start_observations = List.length (Relay.observations relay) in
+  (* Stage 1 *)
+  let st1, ot_q =
+    tick user_cpu (fun () ->
+        let cell = Client.locate client position in
+        Client.stage1_query client cell)
+  in
+  let f =
+    deliver relay ~direction:Relay.Uplink
+      { Frame.kind = Frame.Ot_query;
+        payload = Wire.ot_query_encode group ot_q }
+  in
+  let ot_resp =
+    tick server_cpu (fun () ->
+        let q =
+          try Wire.ot_query_decode group (expect Frame.Ot_query f)
+          with Wire.Malformed m -> raise (Network_error ("ot query: " ^ m))
+        in
+        Server.ot_respond server q)
+  in
+  let f =
+    deliver relay ~direction:Relay.Downlink
+      { Frame.kind = Frame.Ot_response;
+        payload = Wire.ot_response_encode group ot_resp }
+  in
+  let credential =
+    tick user_cpu (fun () ->
+        let resp =
+          try Wire.ot_response_decode group (expect Frame.Ot_response f)
+          with Wire.Malformed m -> raise (Network_error ("ot response: " ^ m))
+        in
+        Client.stage1_decode client st1 resp)
+  in
+  (* Stage 2, padded frames *)
+  let st2, pir_q =
+    tick user_cpu (fun () -> Client.stage2_query ~reuse client credential)
+  in
+  let f =
+    deliver relay ~direction:Relay.Uplink
+      { Frame.kind = Frame.Pir_query;
+        payload = pad_to pad_query (Wire.pir_query_encode pir_q) }
+  in
+  let n_ref = ref Lbq_bignum.Z.zero in
+  let ge =
+    tick server_cpu (fun () ->
+        let n, g =
+          try Wire.pir_query_decode (unpad (expect Frame.Pir_query f))
+          with Wire.Malformed m -> raise (Network_error ("pir query: " ^ m))
+        in
+        n_ref := n;
+        Server.pir_respond server ~n ~g)
+  in
+  let f =
+    deliver relay ~direction:Relay.Downlink
+      { Frame.kind = Frame.Pir_response;
+        payload = pad_to pad_resp (Wire.pir_response_encode ~n:!n_ref ge) }
+  in
+  let pois =
+    tick user_cpu (fun () ->
+        let ge =
+          try Wire.pir_response_decode (unpad (expect Frame.Pir_response f))
+          with Wire.Malformed m -> raise (Network_error ("pir response: " ^ m))
+        in
+        Client.stage2_decode client st2 ge)
+  in
+  let obs = Relay.observations relay in
+  let new_obs =
+    List.filteri (fun i _ -> i >= start_observations) obs
+  in
+  let bytes direction =
+    List.fold_left
+      (fun acc (o : Relay.observation) ->
+        if o.Relay.direction = direction then acc + o.Relay.bytes else acc)
+      0 new_obs
+  in
+  let transcript =
+    List.map
+      (fun (o : Relay.observation) ->
+        { Protocol.direction =
+            (match o.Relay.direction with
+             | Relay.Uplink -> Protocol.User_to_server
+             | Relay.Downlink -> Protocol.Server_to_user);
+          label = Frame.kind_name o.Relay.kind;
+          bytes = o.Relay.bytes })
+      new_obs
+  in
+  { Protocol.pois; credential; transcript },
+  { user_cpu_s = !user_cpu;
+    server_cpu_s = !server_cpu;
+    network_s = Relay.network_time_s relay;
+    bytes_up = bytes Relay.Uplink;
+    bytes_down = bytes Relay.Downlink;
+    frames = List.length new_obs }

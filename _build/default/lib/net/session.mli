@@ -1,0 +1,29 @@
+(** A protocol round over the simulated mobile network, with CPU/network
+    time breakdown and PIR frame padding (uniform traffic shape across
+    cells). *)
+
+open Lbq_core
+
+exception Network_error of string
+
+type stats = {
+  user_cpu_s : float;
+  server_cpu_s : float;
+  network_s : float;   (* virtual link time *)
+  bytes_up : int;
+  bytes_down : int;
+  frames : int;
+}
+
+(** Plan-wide bound on the PIR modulus width (padding target). *)
+val max_n_bytes : Lbq_pir.Gr.plan -> q_bits:int -> int
+
+(** One-time public-info download through the SP; returns the info and
+    the frame size. *)
+val bootstrap : Relay.t -> Server.t -> Server.public_info * int
+
+(** One full round through the SP.  Raises {!Network_error} on transport
+    faults (CRC, framing, unexpected types). *)
+val run_round :
+  ?reuse:bool -> Relay.t -> Client.t -> Server.t ->
+  position:Lbq_geo.Coord.t -> Protocol.round_result * stats

@@ -1,0 +1,1 @@
+lib/numth/crt.ml: Lbq_bignum List Z

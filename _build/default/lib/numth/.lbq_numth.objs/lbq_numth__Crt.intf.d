@@ -1,0 +1,1 @@
+lib/numth/crt.mli: Lbq_bignum Z

@@ -1,0 +1,1 @@
+lib/numth/dlog.ml: Array Barrett Crt Hashtbl Lazy Lbq_bignum List Z

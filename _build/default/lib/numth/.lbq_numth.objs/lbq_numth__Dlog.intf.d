@@ -1,0 +1,1 @@
+lib/numth/dlog.mli: Barrett Lbq_bignum Z

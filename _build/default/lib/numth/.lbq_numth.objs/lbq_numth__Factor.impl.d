@@ -1,0 +1,1 @@
+lib/numth/factor.ml: Barrett Hashtbl Lbq_bignum List Primality Sieve Z

@@ -1,0 +1,1 @@
+lib/numth/factor.mli: Lbq_bignum Z

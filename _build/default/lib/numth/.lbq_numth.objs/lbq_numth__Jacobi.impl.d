@@ -1,0 +1,1 @@
+lib/numth/jacobi.ml: Barrett Lbq_bignum Z

@@ -1,0 +1,1 @@
+lib/numth/jacobi.mli: Lbq_bignum Z

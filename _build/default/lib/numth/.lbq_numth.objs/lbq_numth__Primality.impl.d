@@ -1,0 +1,1 @@
+lib/numth/primality.ml: Barrett Lbq_bignum List Montgomery Sieve Z

@@ -1,0 +1,1 @@
+lib/numth/primality.mli: Lbq_bignum Z

@@ -1,0 +1,1 @@
+lib/numth/primegen.ml: Lbq_bignum Primality Z

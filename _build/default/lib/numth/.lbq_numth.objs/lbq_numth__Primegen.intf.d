@@ -1,0 +1,1 @@
+lib/numth/primegen.mli: Lbq_bignum Z

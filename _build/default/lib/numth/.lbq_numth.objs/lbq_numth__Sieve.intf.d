@@ -1,0 +1,1 @@
+lib/numth/sieve.mli:

@@ -1,0 +1,27 @@
+(* Chinese Remainder Theorem over pairwise-coprime moduli.  The PIR server
+   encodes its whole database as the smallest e with e = C_i (mod pi_i). *)
+
+open Lbq_bignum
+
+(* [solve [(r1, m1); ...]] is the smallest non-negative x with
+   x = r_i (mod m_i) for all i.  Moduli must be pairwise coprime and > 1;
+   raises [Invalid_argument] otherwise. *)
+let solve (congruences : (Z.t * Z.t) list) : Z.t =
+  match congruences with
+  | [] -> Z.zero
+  | (r0, m0) :: rest ->
+    if Z.leq m0 Z.one then invalid_arg "Crt.solve: modulus <= 1";
+    let combine (x, m) (r, m') =
+      if Z.leq m' Z.one then invalid_arg "Crt.solve: modulus <= 1";
+      if not (Z.equal (Z.gcd m m') Z.one) then
+        invalid_arg "Crt.solve: moduli not coprime";
+      (* x' = x + m * t where t = (r - x) / m  (mod m') *)
+      let t = Z.erem (Z.mul (Z.sub r x) (Z.invert m m')) m' in
+      Z.add x (Z.mul m t), Z.mul m m'
+    in
+    let x, _m = List.fold_left combine (Z.erem r0 m0, m0) rest in
+    x
+
+(* Verification helper: does [x] satisfy every congruence? *)
+let check (x : Z.t) (congruences : (Z.t * Z.t) list) : bool =
+  List.for_all (fun (r, m) -> Z.equal (Z.erem x m) (Z.erem r m)) congruences

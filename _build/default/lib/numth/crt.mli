@@ -1,0 +1,11 @@
+(** Chinese Remainder Theorem over pairwise-coprime moduli. *)
+
+open Lbq_bignum
+
+(** [solve [(r1, m1); ...]] is the smallest non-negative [x] with
+    [x = r_i (mod m_i)] for every pair.  Raises [Invalid_argument] when
+    moduli are not pairwise coprime or some modulus is [<= 1]. *)
+val solve : (Z.t * Z.t) list -> Z.t
+
+(** Does [x] satisfy every congruence? *)
+val check : Z.t -> (Z.t * Z.t) list -> bool

@@ -1,0 +1,10 @@
+(** Jacobi and Legendre symbols (for the quadratic-residuosity PIR
+    baseline). *)
+
+open Lbq_bignum
+
+(** [symbol a n] for odd positive [n]. *)
+val symbol : Z.t -> Z.t -> int
+
+(** [legendre a p] via Euler's criterion; [p] must be an odd prime. *)
+val legendre : Z.t -> Z.t -> int

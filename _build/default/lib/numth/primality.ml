@@ -1,0 +1,118 @@
+(* Probabilistic primality testing: trial division, Fermat, Miller–Rabin.
+   Deterministic witness sets cover everything below 3.3 * 10^24; larger
+   candidates use random bases drawn from the caller's byte source. *)
+
+open Lbq_bignum
+
+(* Primes below 1000, used for fast trial-division rejection. *)
+let small_primes = Sieve.primes_below 1000
+
+(* Deterministic Miller–Rabin witnesses valid for n < 3,317,044,064,679,887,385,961,981
+   (Sorenson & Webster 2015). *)
+let deterministic_bases = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let deterministic_limit = Z.of_string "3317044064679887385961981"
+
+type result = Prime | Composite | Probably_prime
+
+(* One Miller–Rabin round with base [a] (1 < a < n - 1), n odd > 3.
+   [d], [s] satisfy n - 1 = d * 2^s with d odd; [ctx] is a Montgomery
+   context for n (n is odd here; Montgomery exponentiation is ~1.5x
+   faster than Barrett, and this loop dominates the PIR query time). *)
+let mr_round ctx n ~d ~s a =
+  let n1 = Z.pred n in
+  let x = ref (Montgomery.powm ctx a d) in
+  if Z.equal !x Z.one || Z.equal !x n1 then true
+  else begin
+    let ok = ref false in
+    let r = ref 1 in
+    while (not !ok) && !r < s do
+      x := Montgomery.mulmod ctx !x !x;
+      if Z.equal !x n1 then ok := true;
+      incr r
+    done;
+    !ok
+  end
+
+let decompose n =
+  (* n - 1 = d * 2^s with d odd *)
+  let n1 = Z.pred n in
+  let rec go d s = if Z.is_odd d then d, s else go (Z.shift_right d 1) (s + 1) in
+  go n1 0
+
+let trial_division n =
+  let rec go = function
+    | [] -> Probably_prime
+    | p :: rest ->
+      let pz = Z.of_int p in
+      if Z.equal n pz then Prime
+      else if Z.is_zero (Z.rem n pz) then Composite
+      else go rest
+  in
+  go small_primes
+
+(* Main entry.  [rand] supplies bytes for random bases; [rounds] is the
+   number of random Miller–Rabin rounds above the deterministic range. *)
+let test ?(rounds = 24) ?rand (n : Z.t) : result =
+  if Z.sign n <= 0 then Composite
+  else if Z.lt n Z.two then Composite
+  else if Z.equal n Z.two then Prime
+  else if Z.is_even n then Composite
+  else begin
+    match trial_division n with
+    | (Prime | Composite) as r -> r
+    | Probably_prime ->
+      (* n has survived trial division by 2, so it is odd. *)
+      let ctx = Montgomery.create n in
+      let d, s = decompose n in
+      if Z.lt n deterministic_limit then begin
+        let witnesses =
+          List.filter (fun a -> Z.lt (Z.of_int a) (Z.pred n)) deterministic_bases
+        in
+        if List.for_all (fun a -> mr_round ctx n ~d ~s (Z.of_int a)) witnesses
+        then Prime
+        else Composite
+      end
+      else begin
+        let rand =
+          match rand with
+          | Some r -> r
+          | None -> invalid_arg "Primality.test: large candidate needs ~rand"
+        in
+        let n3 = Z.sub n (Z.of_int 3) in
+        let rec go i =
+          if i = 0 then Probably_prime
+          else begin
+            let a = Z.add Z.two (Z.random_below ~bound:n3 rand) in
+            if mr_round ctx n ~d ~s a then go (i - 1) else Composite
+          end
+        in
+        go rounds
+      end
+  end
+
+let is_prime ?rounds ?rand n =
+  match test ?rounds ?rand n with
+  | Prime | Probably_prime -> true
+  | Composite -> false
+
+(* Fermat test (base-a compositeness check); kept because the paper cites
+   it as an alternative to Miller–Rabin for the semi-safe prime search. *)
+let fermat_witness n a =
+  if Z.leq n (Z.of_int 3) then invalid_arg "Primality.fermat_witness: n <= 3";
+  let ctx = Barrett.create n in
+  Z.equal (Barrett.powm ctx a (Z.pred n)) Z.one
+
+let fermat ?(rounds = 10) ~rand n =
+  if Z.lt n Z.two then false
+  else if Z.equal n Z.two then true
+  else if Z.is_even n then false
+  else begin
+    let n3 = Z.sub n (Z.of_int 3) in
+    let rec go i =
+      i = 0
+      || (let a = Z.add Z.two (Z.random_below ~bound:n3 rand) in
+          fermat_witness n a && go (i - 1))
+    in
+    Z.leq n (Z.of_int 3) || go rounds
+  end

@@ -1,0 +1,23 @@
+(** Primality testing.
+
+    Deterministic Miller–Rabin witness sets below 3.3e24; random bases
+    (from a caller-supplied byte source) above. *)
+
+open Lbq_bignum
+
+type result = Prime | Composite | Probably_prime
+
+(** Full test.  [rand] is required for candidates above the deterministic
+    range; [rounds] random Miller–Rabin rounds are then used (default 24,
+    error probability <= 4{^-24}). *)
+val test : ?rounds:int -> ?rand:(int -> string) -> Z.t -> result
+
+(** [is_prime n] treats [Probably_prime] as prime. *)
+val is_prime : ?rounds:int -> ?rand:(int -> string) -> Z.t -> bool
+
+(** One Fermat check with an explicit base (paper mentions the Fermat test
+    as an alternative for the semi-safe prime search). *)
+val fermat_witness : Z.t -> Z.t -> bool
+
+(** Probabilistic Fermat test with random bases. *)
+val fermat : ?rounds:int -> rand:(int -> string) -> Z.t -> bool

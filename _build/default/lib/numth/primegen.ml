@@ -1,0 +1,47 @@
+(* Random prime generation, including the "semi-safe" primes
+   Q0 = 2*q0*pi + 1 and Q1 = 2*q1 + 1 that the Gentry–Ramzan PIR query
+   needs (paper §VI-B) and Schnorr-group moduli p = 2*k*q + 1. *)
+
+open Lbq_bignum
+
+(* Random prime with exactly [bits] bits (top and bottom bits forced). *)
+let random_prime ~bits (rand : int -> string) : Z.t =
+  if bits < 2 then invalid_arg "Primegen.random_prime: bits < 2";
+  let rec go () =
+    let c = Z.random_bits ~bits rand in
+    (* Force the top bit for exact width and the bottom bit for oddness. *)
+    let c = Z.add c (Z.shift_left Z.one (bits - 1)) in
+    let c = if Z.is_even c then Z.succ c else c in
+    let c =
+      if Z.numbits c > bits then Z.pred (Z.shift_left Z.one bits) else c
+    in
+    if Primality.is_prime ~rand c then c else go ()
+  in
+  go ()
+
+(* Semi-safe prime: smallest structure Q = 2*q*multiple + 1 with [q] a fresh
+   random prime of [q_bits] bits and Q prime.  Returns (q, Q).  This is the
+   expensive search that dominates the PIR query time in Table IV. *)
+let semi_safe ~q_bits ~(multiple : Z.t) (rand : int -> string) : Z.t * Z.t =
+  if Z.sign multiple <= 0 then invalid_arg "Primegen.semi_safe: multiple <= 0";
+  let rec go () =
+    let q = random_prime ~bits:q_bits rand in
+    let cand = Z.succ (Z.shift_left (Z.mul q multiple) 1) in
+    if Primality.is_prime ~rand cand then q, cand else go ()
+  in
+  go ()
+
+(* Schnorr-style modulus: prime p = 2*k*q + 1 for a given prime q, with p of
+   [p_bits] bits.  Returns (k, p). *)
+let schnorr_modulus ~p_bits ~(q : Z.t) (rand : int -> string) : Z.t * Z.t =
+  let q_bits = Z.numbits q in
+  if p_bits < q_bits + 2 then invalid_arg "Primegen.schnorr_modulus: p_bits too small";
+  let k_bits = p_bits - q_bits - 1 in
+  let rec go () =
+    let k = Z.random_bits ~bits:k_bits rand in
+    let k = Z.add k (Z.shift_left Z.one (k_bits - 1)) in
+    let cand = Z.succ (Z.shift_left (Z.mul k q) 1) in
+    if Z.numbits cand = p_bits && Primality.is_prime ~rand cand then k, cand
+    else go ()
+  in
+  go ()

@@ -1,0 +1,17 @@
+(** Random prime generation. *)
+
+open Lbq_bignum
+
+(** Random prime with exactly [bits] bits. *)
+val random_prime : bits:int -> (int -> string) -> Z.t
+
+(** Semi-safe prime search: returns [(q, Q)] with [q] a fresh random prime
+    of [q_bits] bits and [Q = 2*q*multiple + 1] prime.  With
+    [multiple = pi] this is exactly the Q0 the Gentry–Ramzan query needs;
+    with [multiple = 1] it is Q1.  This search dominates the PIR query
+    time (Table IV). *)
+val semi_safe : q_bits:int -> multiple:Z.t -> (int -> string) -> Z.t * Z.t
+
+(** [(k, p)] with [p = 2*k*q + 1] prime of [p_bits] bits, for a Schnorr
+    group with subgroup order [q]. *)
+val schnorr_modulus : p_bits:int -> q:Z.t -> (int -> string) -> Z.t * Z.t

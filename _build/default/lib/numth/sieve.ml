@@ -1,0 +1,46 @@
+(* Small-prime machinery: Eratosthenes sieve and enumerations.  The PIR
+   database needs "the first k primes starting at 3" (paper §VI-B). *)
+
+(* All primes < limit, ascending. *)
+let primes_below (limit : int) : int list =
+  if limit <= 2 then []
+  else begin
+    let comp = Bytes.make limit '\x00' in
+    let out = ref [] in
+    for i = 2 to limit - 1 do
+      if Bytes.get comp i = '\x00' then begin
+        out := i :: !out;
+        let j = ref (i * i) in
+        while !j < limit do
+          Bytes.set comp !j '\x01';
+          j := !j + i
+        done
+      end
+    done;
+    List.rev !out
+  end
+
+(* The first [k] primes >= [from] (default 2). *)
+let first_primes ?(from = 2) (k : int) : int list =
+  if k <= 0 then []
+  else begin
+    (* Over-allocate the sieve bound using p_n < n (ln n + ln ln n) + from. *)
+    let rec collect limit =
+      let ps = List.filter (fun p -> p >= from) (primes_below limit) in
+      if List.length ps >= k then
+        List.filteri (fun i _ -> i < k) ps
+      else collect (limit * 2)
+    in
+    collect (max 64 (16 * k))
+  end
+
+let is_small_prime (n : int) : bool =
+  if n < 2 then false
+  else begin
+    let rec go d =
+      if d * d > n then true
+      else if n mod d = 0 then false
+      else go (d + 1)
+    in
+    go 2
+  end

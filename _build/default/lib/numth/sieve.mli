@@ -1,0 +1,11 @@
+(** Small-prime machinery (Eratosthenes). *)
+
+(** All primes strictly below [limit], ascending. *)
+val primes_below : int -> int list
+
+(** The first [k] primes that are [>= from] (default 2), ascending.
+    The PIR database uses "the first 225 primes starting at 3". *)
+val first_primes : ?from:int -> int -> int list
+
+(** Trial-division primality for machine ints (testing helper). *)
+val is_small_prime : int -> bool

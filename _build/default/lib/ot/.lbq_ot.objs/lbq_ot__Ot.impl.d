@@ -1,0 +1,1 @@
+lib/ot/ot.ml: Array Buffer Char Elgamal Lbq_bignum Lbq_crypto Lbq_group Lbq_metrics Schnorr String Z

@@ -1,0 +1,1 @@
+lib/ot/ot1.ml: Array Elgamal Lbq_bignum Lbq_crypto Lbq_group Lbq_metrics Ot Schnorr String Z

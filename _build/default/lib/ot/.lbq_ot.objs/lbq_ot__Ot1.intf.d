@@ -1,0 +1,1 @@
+lib/ot/ot1.mli: Elgamal Lbq_bignum Lbq_group Lbq_metrics Schnorr Z

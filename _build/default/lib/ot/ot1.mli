@@ -1,0 +1,38 @@
+(** One-dimensional 1-out-of-k adaptive oblivious transfer: the
+    single-axis building block composed by the 2-D {!Ot}. *)
+
+open Lbq_bignum
+open Lbq_group
+module Counters = Lbq_metrics.Counters
+
+type query = { c : Elgamal.ciphertext }
+
+type response = (Z.t * Z.t) array
+
+val element_len : Schnorr.t -> int
+
+module Server : sig
+  type t
+
+  val init :
+    group:Schnorr.t -> rand:(int -> string) -> ?metrics:Counters.t ->
+    string array -> t
+
+  val size : t -> int
+  val masked_table : t -> string array
+  val payload_len : t -> int
+  val respond : t -> query -> response
+end
+
+module Client : sig
+  type state
+
+  val query :
+    group:Schnorr.t -> rand:(int -> string) -> ?metrics:Counters.t ->
+    i:int -> unit -> state * query
+
+  val decode : state -> masked:string array -> response -> string
+
+  (** Dishonest decode at another index (tests/demos). *)
+  val decode_at : state -> masked:string array -> response -> i:int -> string
+end

@@ -1,0 +1,1 @@
+lib/pir/gr.ml: Array Barrett Crt Dlog Lbq_bignum Lbq_metrics Lbq_numth List Primegen Sieve Z

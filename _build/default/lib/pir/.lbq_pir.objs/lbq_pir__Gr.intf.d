@@ -1,0 +1,1 @@
+lib/pir/gr.mli: Lbq_bignum Lbq_metrics Z

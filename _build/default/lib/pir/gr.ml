@@ -1,0 +1,202 @@
+(* Gentry–Ramzan single-database PIR with constant communication rate
+   (ICALP'05), as used in stage 2 of the paper (§III-D, Algorithm 3,
+   Appendix B).
+
+   Database encoding (server, once):  records C_1..C_t are integers; each
+   record i is assigned a distinct prime power pi_i = p_i^{c_i} with
+   C_i < pi_i, and the whole database is the smallest integer e with
+   e = C_i (mod pi_i) for all i (Chinese Remainder Theorem).
+
+   Query (user): pick pi = pi_index, build a phi-hiding group — semi-safe
+   primes Q0 = 2*q0*pi + 1 and Q1 = 2*q1 + 1, modulus N = Q0*Q1 so that
+   pi | phi(N) — and a quasi-generator g whose order is divisible by pi.
+   Send (N, g); the factorisation of N (and hence which pi divides
+   phi(N)) stays secret under the phi-hiding assumption.
+
+   Response (server): g_e = g^e mod N — |e| modular multiplications.
+
+   Decode (user): h = g^(phi/pi), h_e = g_e^(phi/pi); then
+   C_index = log_h(h_e) in the order-pi subgroup, solved digit-by-digit
+   with Pohlig–Hellman (Table V / Appendix B). *)
+
+open Lbq_bignum
+open Lbq_numth
+module Counters = Lbq_metrics.Counters
+
+(* ------------------------------------------------------------------ *)
+(* Prime-power plan                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type slot = {
+  p : Z.t;    (* small prime base *)
+  c : int;    (* exponent *)
+  pi : Z.t;   (* p^c, the record capacity *)
+}
+
+type plan = { slots : slot array; block_bits : int }
+
+(* The "predictable pattern" of §III-B: the first [count] primes starting
+   at [first] (default 3), each raised to the least power reaching
+   [block_bits] bits of capacity — e.g. 3^647, 5^442, ..., 1429^98 for
+   1024-bit blocks and 225 records. *)
+let make_plan ?(first = 3) ~count ~block_bits () =
+  if count <= 0 then invalid_arg "Gr.make_plan: count <= 0";
+  if block_bits <= 0 then invalid_arg "Gr.make_plan: block_bits <= 0";
+  let primes = Sieve.first_primes ~from:first count in
+  let slots =
+    List.map
+      (fun p ->
+        let pz = Z.of_int p in
+        let rec grow c pi =
+          if Z.numbits pi > block_bits then c, pi
+          else grow (c + 1) (Z.mul pi pz)
+        in
+        let c, pi = grow 1 pz in
+        { p = pz; c; pi })
+      primes
+  in
+  { slots = Array.of_list slots; block_bits }
+
+let plan_size plan = Array.length plan.slots
+let plan_block_bits plan = plan.block_bits
+let plan_slot plan i =
+  if i < 0 || i >= Array.length plan.slots then
+    invalid_arg "Gr.plan_slot: index out of range";
+  plan.slots.(i)
+
+(* Capacity check: every record must fit its slot. *)
+let fits plan i (v : Z.t) = Z.lt v (plan_slot plan i).pi
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Server = struct
+  type t = {
+    plan : plan;
+    e : Z.t;        (* CRT encoding of the whole database *)
+    metrics : Counters.t;
+  }
+
+  let create ?(metrics = Counters.null) plan (records : Z.t array) =
+    if Array.length records <> plan_size plan then
+      invalid_arg "Gr.Server.create: record count does not match plan";
+    Array.iteri
+      (fun i r ->
+        if Z.sign r < 0 || not (fits plan i r) then
+          invalid_arg "Gr.Server.create: record exceeds its prime-power capacity")
+      records;
+    let congruences =
+      Array.to_list (Array.mapi (fun i r -> r, plan.slots.(i).pi) records)
+    in
+    { plan; e = Crt.solve congruences; metrics }
+
+  let e t = t.e
+  let e_bits t = Z.numbits t.e
+  let plan t = t.plan
+
+  (* Upper bound on a legitimate query modulus: |N| <= max|pi| + 2*q_bits
+     + small slack.  Callers pass their deployment's q_bits; anything
+     wider is a resource-exhaustion attempt, not a query (g^e costs |e|
+     multiplications at the query's width). *)
+  let max_modulus_bits t ~q_bits =
+    let worst = ref 0 in
+    Array.iter (fun s -> worst := max !worst (Z.numbits s.pi)) t.plan.slots;
+    !worst + (2 * (q_bits + 2)) + 8
+
+  (* Answer a query (N, g): g^e mod N.  The measured multiplication count
+     is attached to the metrics (Table II server cost: |e| mults). *)
+  let respond ?max_n_bits t ~(n : Z.t) ~(g : Z.t) : Z.t =
+    if Z.leq n Z.one then invalid_arg "Gr.Server.respond: bad modulus";
+    (match max_n_bits with
+     | Some bound when Z.numbits n > bound ->
+       invalid_arg "Gr.Server.respond: modulus exceeds the deployment bound"
+     | _ -> ());
+    if Z.leq g Z.one || Z.geq g n then
+      invalid_arg "Gr.Server.respond: generator out of range";
+    let ctx = Barrett.create n in
+    let mults = ref 0 in
+    let ge = Barrett.counting ctx mults (fun () -> Barrett.powm ctx g t.e) in
+    Counters.server_mult t.metrics !mults;
+    Counters.server_bytes t.metrics ((Z.numbits n + 7) / 8);
+    ge
+end
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type state = {
+    slot : slot;
+    n : Z.t;            (* modulus N = Q0 * Q1, factorisation secret *)
+    g : Z.t;            (* quasi-generator, order divisible by pi *)
+    phi : Z.t;          (* phi(N) = 4 * q0 * q1 * pi *)
+    ctx : Barrett.t;
+    metrics : Counters.t;
+  }
+
+  (* Build the phi-hiding instance for record [index].  [q_bits] is the
+     width of the cofactor primes q0, q1 (the paper uses 128, §VI-B).
+     Cost is dominated by the primality search for Q0 and Q1, which is
+     why the user query dominates Table IV. *)
+  let query ?(metrics = Counters.null) ~plan ~index ~q_bits rand : state * (Z.t * Z.t) =
+    let slot = plan_slot plan index in
+    let _q0, qq0 = Primegen.semi_safe ~q_bits ~multiple:slot.pi rand in
+    let rec distinct_q1 () =
+      let q1, qq1 = Primegen.semi_safe ~q_bits ~multiple:Z.one rand in
+      if Z.equal qq1 qq0 then distinct_q1 () else q1, qq1
+    in
+    let _q1, qq1 = distinct_q1 () in
+    let n = Z.mul qq0 qq1 in
+    let phi = Z.mul (Z.pred qq0) (Z.pred qq1) in
+    let ctx = Barrett.create n in
+    (* Quasi-generator: order of g must retain the full pi = p^c factor,
+       i.e. g^(phi/p) <> 1. *)
+    let cofactor_p = Z.div phi slot.p in
+    let rec find_g () =
+      let g = Z.add Z.two (Z.random_below ~bound:(Z.sub n (Z.of_int 3)) rand) in
+      if Z.equal (Z.gcd g n) Z.one
+         && not (Z.equal (Barrett.powm ctx g cofactor_p) Z.one)
+      then g
+      else find_g ()
+    in
+    let g = find_g () in
+    let st = { slot; n; g; phi; ctx; metrics } in
+    Counters.user_bytes metrics (2 * ((Z.numbits n + 7) / 8));
+    st, (n, g)
+
+  let modulus st = st.n
+  let generator st = st.g
+
+  (* Recover C_index from the server's g^e: raise both g and g_e to
+     phi/pi (the user's 2|N| multiplications of Table II), then take the
+     discrete log base h in the order-pi subgroup via Pohlig–Hellman. *)
+  let decode (st : state) (ge : Z.t) : Z.t =
+    let exponent = Z.div st.phi st.slot.pi in
+    let mults = ref 0 in
+    let result =
+      Barrett.counting st.ctx mults (fun () ->
+          let h = Barrett.powm st.ctx st.g exponent in
+          let he = Barrett.powm st.ctx ge exponent in
+          Dlog.pohlig_hellman_prime_power st.ctx ~base:h ~target:he
+            ~p:st.slot.p ~c:st.slot.c)
+    in
+    Counters.user_mult st.metrics !mults;
+    match result with
+    | Some v -> v
+    | None ->
+      invalid_arg "Gr.Client.decode: response is not in the expected subgroup"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Whole-protocol convenience                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One full PIR round against [server] for record [index]. *)
+let fetch ?metrics ~(server : Server.t) ~index ~q_bits rand : Z.t =
+  let st, (n, g) =
+    Client.query ?metrics ~plan:(Server.plan server) ~index ~q_bits rand
+  in
+  let ge = Server.respond server ~n ~g in
+  Client.decode st ge

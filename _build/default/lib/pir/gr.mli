@@ -1,0 +1,79 @@
+(** Gentry–Ramzan single-database PIR with constant communication rate —
+    stage 2 of the paper (§III-D, Algorithm 3, Appendix B).
+
+    The server's whole database is one integer [e] (CRT over per-record
+    prime powers); a query is one group description [(N, g)] hiding which
+    prime power divides [phi(N)]; the answer is the single element
+    [g^e mod N]. *)
+
+open Lbq_bignum
+module Counters = Lbq_metrics.Counters
+
+(** One record slot: the record with this index must satisfy
+    [0 <= record < pi = p^c]. *)
+type slot = { p : Z.t; c : int; pi : Z.t }
+
+type plan
+
+(** The "predictable pattern" of prime powers (§III-B): the first [count]
+    primes from [first] (default 3), each raised to the least power giving
+    at least [block_bits] bits of capacity.  The paper's setting is
+    [make_plan ~count:225 ~block_bits:1024 ()] — 3{^647}, 5{^442}, ... *)
+val make_plan : ?first:int -> count:int -> block_bits:int -> unit -> plan
+
+val plan_size : plan -> int
+val plan_block_bits : plan -> int
+val plan_slot : plan -> int -> slot
+
+(** Does value [v] fit in slot [i]? *)
+val fits : plan -> int -> Z.t -> bool
+
+module Server : sig
+  type t
+
+  (** CRT-encode the records (one integer per slot, within capacity). *)
+  val create : ?metrics:Counters.t -> plan -> Z.t array -> t
+
+  (** The database-as-one-integer. *)
+  val e : t -> Z.t
+
+  val e_bits : t -> int
+  val plan : t -> plan
+
+  (** Widest modulus a legitimate query can need for this plan with
+      cofactor primes of [q_bits] bits (resource-exhaustion guard). *)
+  val max_modulus_bits : t -> q_bits:int -> int
+
+  (** Answer a query: [g^e mod N].  |e| modular multiplications — the
+      Table II server cost (measured through the Barrett counter).
+      Rejects [g] out of range and, when [max_n_bits] is given, oversized
+      moduli. *)
+  val respond : ?max_n_bits:int -> t -> n:Z.t -> g:Z.t -> Z.t
+end
+
+module Client : sig
+  type state
+
+  (** Build the phi-hiding instance for [index]: semi-safe primes
+      [Q0 = 2 q0 pi + 1], [Q1 = 2 q1 + 1] with [q0], [q1] of [q_bits]
+      bits (paper: 128), modulus [N = Q0 Q1], and a quasi-generator [g]
+      whose order retains the full [pi] factor.  Returns the state and
+      the wire query [(N, g)].  The primality search here dominates
+      Table IV's query time. *)
+  val query :
+    ?metrics:Counters.t -> plan:plan -> index:int -> q_bits:int ->
+    (int -> string) -> state * (Z.t * Z.t)
+
+  val modulus : state -> Z.t
+  val generator : state -> Z.t
+
+  (** Recover the record: raise to [phi/pi] and take a Pohlig–Hellman
+      discrete log in the order-pi subgroup.  Raises [Invalid_argument]
+      if the response is not in the expected subgroup (tampering). *)
+  val decode : state -> Z.t -> Z.t
+end
+
+(** One full round: query, respond, decode. *)
+val fetch :
+  ?metrics:Counters.t -> server:Server.t -> index:int -> q_bits:int ->
+  (int -> string) -> Z.t

@@ -1,0 +1,1 @@
+lib/qrpir/qr_pir.ml: Array Barrett Char Jacobi Lbq_bignum Lbq_metrics Lbq_numth Primegen String Z

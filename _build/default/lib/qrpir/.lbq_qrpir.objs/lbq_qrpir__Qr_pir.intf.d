@@ -1,0 +1,1 @@
+lib/qrpir/qr_pir.mli: Lbq_bignum Lbq_metrics Z

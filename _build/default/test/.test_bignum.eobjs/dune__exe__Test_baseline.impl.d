@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Coord Grid Lbq_baseline Lbq_geo Lbq_metrics List Poi Printf Synth

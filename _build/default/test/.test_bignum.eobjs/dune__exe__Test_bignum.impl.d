@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Array Barrett Char Lbq_bignum List Montgomery Nat QCheck QCheck_alcotest Random String Z

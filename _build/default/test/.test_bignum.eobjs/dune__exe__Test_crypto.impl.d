@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Array Bytes_util Chacha20 Char Drbg Float Hmac Lbq_crypto List Merkle Printf QCheck QCheck_alcotest Sha1 Sha256 String

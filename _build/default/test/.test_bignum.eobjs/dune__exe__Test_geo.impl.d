@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Bytes Coord Filename Float Format Fun Grid Hashtbl Lbq_geo List Nn Poi Poi_file Printf QCheck QCheck_alcotest Quadtree String Synth Sys

@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Drbg Elgamal Lbq_bignum Lbq_crypto Lbq_group Lbq_numth List Paillier Primality Printf QCheck QCheck_alcotest Schnorr Z

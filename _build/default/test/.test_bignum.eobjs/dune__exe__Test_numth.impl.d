@@ -1,0 +1,1 @@
+test/test_numth.ml: Alcotest Barrett Crt Dlog Drbg Factor Hashtbl Jacobi Lbq_bignum Lbq_crypto Lbq_numth List Primality Primegen Printf QCheck QCheck_alcotest Sieve Z

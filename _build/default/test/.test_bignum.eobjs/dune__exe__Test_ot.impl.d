@@ -1,0 +1,1 @@
+test/test_ot.ml: Alcotest Array Barrett Char Drbg Elgamal Lbq_bignum Lbq_crypto Lbq_group Lbq_metrics Lbq_ot List Printf QCheck QCheck_alcotest Schnorr String Z

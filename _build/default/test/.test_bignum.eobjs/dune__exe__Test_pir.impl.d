@@ -1,0 +1,1 @@
+test/test_pir.ml: Alcotest Array Barrett Char Crt Dlog Drbg Lbq_bignum Lbq_crypto Lbq_metrics Lbq_numth Lbq_pir Lbq_qrpir Primality Printf QCheck QCheck_alcotest String Z

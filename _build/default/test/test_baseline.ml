@@ -1,0 +1,116 @@
+(* Tests for the Ghinita et al. baseline: stage-1 homomorphic membership,
+   stage-2 QR-PIR retrieval, full rounds, and the cost-shape contrast
+   with the paper's protocol (Table I's O(n*m) vs O(n+m)). *)
+
+open Lbq_geo
+module Ghinita = Lbq_baseline.Ghinita
+module Counters = Lbq_metrics.Counters
+
+let poit = Alcotest.testable Poi.pp Poi.equal
+
+let area =
+  Coord.Rect.make ~min:(Coord.make ~x:0. ~y:0.)
+    ~max:(Coord.make ~x:2000. ~y:2000.)
+
+let pois =
+  Synth.generate ~seed:"baseline-city"
+    { (Synth.city ~side:2000. ~count:25 ~clusters:2 ()) with Synth.count = 25 }
+
+
+let make_server ?metrics () =
+  Ghinita.create ?metrics ~area ~grid_rows:5 ~grid_cols:5 ~private_rows:3
+    ~private_cols:3 ~rmax:8 pois
+
+let expected_pois server position =
+  let part = Ghinita.partition server in
+  let membership = Grid.cell_of_coord (Ghinita.grid server) position in
+  let centre = Grid.cell_center (Ghinita.grid server) membership in
+  let idx = Grid.q_index part (Grid.cell_of_coord (Grid.q_lattice part) centre) in
+  Grid.cell_pois part idx |> List.filter (fun p -> not (Poi.is_dummy p))
+
+let test_stage1_finds_cell () =
+  let server = make_server () in
+  let client = Ghinita.Client.create ~paillier_bits:256 ~qr_bits:128 server in
+  List.iter
+    (fun (x, y) ->
+      let position = Coord.make ~x ~y in
+      let q = Ghinita.Client.stage1_query client position in
+      let r = Ghinita.stage1_respond server q in
+      let cell = Ghinita.Client.stage1_decode client r in
+      let expected = Grid.cell_of_coord (Ghinita.grid server) position in
+      if not (Grid.cell_equal cell expected) then
+        Alcotest.failf "membership found (%d,%d), expected (%d,%d)"
+          cell.Grid.row cell.Grid.col expected.Grid.row expected.Grid.col)
+    [ 10., 10.; 1999., 1999.; 777., 1234.; 400., 400. ]
+
+let test_full_round () =
+  let server = make_server () in
+  let client = Ghinita.Client.create ~paillier_bits:256 ~qr_bits:128 server in
+  List.iter
+    (fun (x, y) ->
+      let position = Coord.make ~x ~y in
+      let got, _cell = Ghinita.run_round client server ~position in
+      Alcotest.(check (list poit))
+        (Printf.sprintf "(%.0f,%.0f)" x y)
+        (expected_pois server position) got)
+    [ 100., 100.; 1500., 300.; 900., 1900. ]
+
+let test_cost_shape_vs_paper () =
+  (* Table I shape: baseline stage-1 server work is 4*n*m exps; the
+     paper's protocol does 3n + 3m.  Check the measured counters. *)
+  let metrics = Counters.create () in
+  let server = make_server ~metrics () in
+  let client =
+    Ghinita.Client.create ~metrics ~paillier_bits:256 ~qr_bits:128 server
+  in
+  let position = Coord.make ~x:1000. ~y:1000. in
+  let q = Ghinita.Client.stage1_query client position in
+  Alcotest.(check int) "user stage-1 exps" 4 metrics.Counters.user_exp;
+  Counters.reset metrics;
+  let r = Ghinita.stage1_respond server q in
+  Alcotest.(check int) "server stage-1 exps = 4nm" (4 * 5 * 5)
+    metrics.Counters.server_exp;
+  Counters.reset metrics;
+  let _cell = Ghinita.Client.stage1_decode client r in
+  (* Decryptions: between 4 (first cell) and 4nm (last cell). *)
+  Alcotest.(check bool) "user decryptions within bound" true
+    (metrics.Counters.user_exp >= 4 && metrics.Counters.user_exp <= 4 * 25)
+
+let test_stage1_outside_area () =
+  let server = make_server () in
+  let client = Ghinita.Client.create ~paillier_bits:256 ~qr_bits:128 server in
+  (* A position outside every cell: no containing cell is found. *)
+  let q = Ghinita.Client.stage1_query client (Coord.make ~x:(-500.) ~y:(-500.)) in
+  let r = Ghinita.stage1_respond server q in
+  (match Ghinita.Client.stage1_decode client r with
+   | exception Ghinita.Protocol_error _ -> ()
+   | cell ->
+     Alcotest.failf "found cell (%d,%d) for an outside position" cell.Grid.row
+       cell.Grid.col)
+
+let test_content_protection_gap () =
+  (* The baseline's known weakness (the paper's motivation): a user can
+     run stage 2 for ANY cell and read it — blocks are not keyed. *)
+  let server = make_server () in
+  let client = Ghinita.Client.create ~paillier_bits:256 ~qr_bits:128 server in
+  let part = Ghinita.partition server in
+  (* Fetch a cell the user never proved membership of. *)
+  let target = { Grid.row = 2; col = 2 } in
+  let st, q2 = Ghinita.Client.stage2_query client ~target in
+  let r2 = Ghinita.stage2_respond server ~n:(Ghinita.Client.qr_modulus client) q2 in
+  let stolen = Ghinita.Client.stage2_decode client st r2 ~target in
+  let real =
+    Grid.cell_pois part (Grid.q_index part target)
+    |> List.filter (fun p -> not (Poi.is_dummy p))
+  in
+  Alcotest.(check (list poit)) "baseline leaks unqueried cell" real stolen
+
+let () =
+  Alcotest.run "lbq_baseline"
+    [ ("ghinita",
+       [ Alcotest.test_case "stage 1 finds cell" `Quick test_stage1_finds_cell;
+         Alcotest.test_case "full round" `Quick test_full_round;
+         Alcotest.test_case "cost shape vs paper" `Quick test_cost_shape_vs_paper;
+         Alcotest.test_case "outside area" `Quick test_stage1_outside_area;
+         Alcotest.test_case "content-protection gap" `Quick
+           test_content_protection_gap ]) ]

@@ -1,0 +1,288 @@
+(* Tests for lbq_bignum: unit anchors plus property tests against both a
+   native-int oracle (small values) and independent reference algorithms
+   (big values). *)
+
+open Lbq_bignum
+
+let z = Alcotest.testable Z.pp Z.equal
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Bytes biased toward 0x00 and 0xff so that carry/borrow chains and the
+   rare Knuth-D correction branches actually get exercised. *)
+let biased_byte =
+  QCheck.Gen.(frequency
+    [ 3, return '\x00'; 3, return '\xff'; 1, return '\x01';
+      1, return '\x80'; 4, map Char.chr (int_bound 255) ])
+
+let gen_z_of_size size_gen =
+  QCheck.Gen.(size_gen >>= fun n ->
+    map (fun l -> Z.of_bytes_be (String.init (List.length l) (List.nth l)))
+      (list_size (return n) biased_byte))
+
+let gen_big = gen_z_of_size QCheck.Gen.(int_range 0 96)
+let gen_signed =
+  QCheck.Gen.(map2 (fun z neg -> if neg then Z.neg z else z) gen_big bool)
+
+let arb_big = QCheck.make gen_big ~print:Z.to_string
+let arb_signed = QCheck.make gen_signed ~print:Z.to_string
+let arb_pair = QCheck.make QCheck.Gen.(pair gen_signed gen_signed)
+    ~print:(fun (a, b) -> Z.to_string a ^ ", " ^ Z.to_string b)
+
+let arb_small_pair =
+  QCheck.make
+    QCheck.Gen.(pair (int_range (-1000000000) 1000000000)
+                  (int_range (-1000000000) 1000000000))
+    ~print:(fun (a, b) -> string_of_int a ^ ", " ^ string_of_int b)
+
+(* Reference division: binary shift-subtract, independent of Knuth D. *)
+let ref_divmod a b =
+  if Z.is_zero b then raise Division_by_zero;
+  let an = Z.abs a and bn = Z.abs b in
+  let q = ref Z.zero and r = ref Z.zero in
+  for i = Z.numbits an - 1 downto 0 do
+    r := Z.shift_left !r 1;
+    if Z.testbit an i then r := Z.add !r Z.one;
+    if Z.geq !r bn then begin
+      r := Z.sub !r bn;
+      q := Z.add (Z.shift_left !q 1) Z.one
+    end
+    else q := Z.shift_left !q 1
+  done;
+  let sq = Z.sign a * Z.sign b and sr = Z.sign a in
+  (if sq < 0 then Z.neg !q else !q), (if sr < 0 then Z.neg !r else !r)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_roundtrip () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (string_of_int n) n (Z.to_int (Z.of_int n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 26; (1 lsl 26) - 1; 1 lsl 52; max_int; min_int + 1 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Z.to_string (Z.of_string s)))
+    [ "0"; "1"; "-1"; "67108864"; "18446744073709551616";
+      "123456789012345678901234567890123456789012345678901234567890";
+      "-99999999999999999999999999999999999999999999999" ]
+
+let test_hex () =
+  Alcotest.(check string) "hex" "deadbeef" (Z.to_hex (Z.of_string "3735928559"));
+  Alcotest.(check string) "hex1" "0" (Z.to_hex Z.zero);
+  Alcotest.check z "of_hex" (Z.of_int 255) (Z.of_hex "ff");
+  Alcotest.check z "of_hex odd" (Z.of_int 4095) (Z.of_hex "fff");
+  Alcotest.check z "of_hex upper" (Z.of_int 255) (Z.of_hex "FF");
+  (* Non-hex input raises Invalid_argument, never Failure (found by the
+     wire fuzzer). *)
+  Alcotest.check_raises "bad digit" (Invalid_argument "Z.of_hex: bad digit")
+    (fun () -> ignore (Z.of_hex "12g4"));
+  Alcotest.check_raises "empty" (Invalid_argument "Z.of_hex: empty")
+    (fun () -> ignore (Z.of_hex ""))
+
+let test_bytes () =
+  let v = Z.of_string "123456789012345678901234567890" in
+  Alcotest.check z "roundtrip" v (Z.of_bytes_be (Z.to_bytes_be v));
+  let padded = Z.to_bytes_be_padded v ~len:32 in
+  Alcotest.(check int) "len" 32 (String.length padded);
+  Alcotest.check z "padded" v (Z.of_bytes_be padded);
+  Alcotest.(check string) "zero" "" (Z.to_bytes_be Z.zero)
+
+let test_div_exceptions () =
+  Alcotest.check_raises "div0" Division_by_zero (fun () ->
+      ignore (Z.div_rem Z.one Z.zero));
+  Alcotest.check_raises "not invertible"
+    (Invalid_argument "Z.invert: not invertible") (fun () ->
+      ignore (Z.invert (Z.of_int 6) (Z.of_int 9)))
+
+let test_pow () =
+  Alcotest.check z "2^100"
+    (Z.of_string "1267650600228229401496703205376")
+    (Z.pow Z.two 100);
+  Alcotest.check z "x^0" Z.one (Z.pow (Z.of_int 999) 0);
+  Alcotest.check z "3^7" (Z.of_int 2187) (Z.pow (Z.of_int 3) 7)
+
+(* Dividend/divisor patterns engineered to hit the Knuth-D qhat-correction
+   and add-back branches (all-ones divisors with near-boundary dividends). *)
+let test_knuth_adversarial () =
+  let ones n = Z.pred (Z.shift_left Z.one n) in
+  let cases =
+    [ Z.shift_left (ones 52) 104, ones 52;
+      Z.sub (Z.shift_left Z.one 156) Z.one, ones 78;
+      Z.shift_left (ones 26) 52, Z.succ (ones 26);
+      Z.of_string "340282366920938463463374607431768211455",
+      Z.of_string "18446744073709551615";
+      (* divisor with max top limb, second limb small *)
+      Z.shift_left (ones 130) 260, Z.add (Z.shift_left (ones 26) 104) Z.one ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let q, r = Z.div_rem a b in
+      let q', r' = ref_divmod a b in
+      Alcotest.check z "q" q' q;
+      Alcotest.check z "r" r' r)
+    cases
+
+let test_shift () =
+  let v = Z.of_string "123456789123456789123456789" in
+  Alcotest.check z "lr" v (Z.shift_right (Z.shift_left v 131) 131);
+  Alcotest.check z "floor shift neg"
+    (Z.of_int (-2)) (Z.shift_right (Z.of_int (-3)) 1);
+  Alcotest.check z "floor shift neg exact"
+    (Z.of_int (-2)) (Z.shift_right (Z.of_int (-4)) 1)
+
+let test_numbits () =
+  Alcotest.(check int) "0" 0 (Z.numbits Z.zero);
+  Alcotest.(check int) "1" 1 (Z.numbits Z.one);
+  Alcotest.(check int) "255" 8 (Z.numbits (Z.of_int 255));
+  Alcotest.(check int) "256" 9 (Z.numbits (Z.of_int 256));
+  Alcotest.(check int) "2^100" 101 (Z.numbits (Z.pow Z.two 100))
+
+let test_barrett_basic () =
+  let m = Z.of_string "1000000007" in
+  let b = Barrett.create m in
+  Alcotest.check z "reduce" (Z.of_int 999999993)
+    (Barrett.reduce b (Z.of_int (-14)));
+  Alcotest.check z "mulmod"
+    (Z.erem (Z.mul (Z.of_int 123456789) (Z.of_int 987654321)) m)
+    (Barrett.mulmod b (Z.of_int 123456789) (Z.of_int 987654321));
+  Alcotest.check z "powm 0" Z.one (Barrett.powm b (Z.of_int 5) Z.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let props =
+  [ prop "add agrees with int" 500 arb_small_pair (fun (a, b) ->
+        Z.to_int (Z.add (Z.of_int a) (Z.of_int b)) = a + b);
+    prop "mul agrees with int" 500 arb_small_pair (fun (a, b) ->
+        Z.to_int (Z.mul (Z.of_int a) (Z.of_int b)) = a * b);
+    prop "div/rem agree with int" 500 arb_small_pair (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q, r = Z.div_rem (Z.of_int a) (Z.of_int b) in
+        Z.to_int q = a / b && Z.to_int r = a mod b);
+    prop "add commutative" 300 arb_pair (fun (a, b) ->
+        Z.equal (Z.add a b) (Z.add b a));
+    prop "mul commutative" 300 arb_pair (fun (a, b) ->
+        Z.equal (Z.mul a b) (Z.mul b a));
+    prop "add associative" 300
+      (QCheck.make QCheck.Gen.(triple gen_signed gen_signed gen_signed))
+      (fun (a, b, c) ->
+        Z.equal (Z.add a (Z.add b c)) (Z.add (Z.add a b) c));
+    prop "distributivity" 300
+      (QCheck.make QCheck.Gen.(triple gen_signed gen_signed gen_signed))
+      (fun (a, b, c) ->
+        Z.equal (Z.mul a (Z.add b c)) (Z.add (Z.mul a b) (Z.mul a c)));
+    prop "sub inverse of add" 300 arb_pair (fun (a, b) ->
+        Z.equal a (Z.sub (Z.add a b) b));
+    prop "divmod invariant" 500 arb_pair (fun (a, b) ->
+        QCheck.assume (not (Z.is_zero b));
+        let q, r = Z.div_rem a b in
+        Z.equal a (Z.add (Z.mul q b) r)
+        && Z.lt (Z.abs r) (Z.abs b)
+        && (Z.is_zero r || Z.sign r = Z.sign a));
+    prop "divmod matches reference" 200 arb_pair (fun (a, b) ->
+        QCheck.assume (not (Z.is_zero b));
+        let q, r = Z.div_rem a b in
+        let q', r' = ref_divmod a b in
+        Z.equal q q' && Z.equal r r');
+    prop "erem in range" 300 arb_pair (fun (a, b) ->
+        QCheck.assume (not (Z.is_zero b));
+        let r = Z.erem a b in
+        Z.sign r >= 0 && Z.lt r (Z.abs b)
+        && Z.equal a (Z.add (Z.mul (Z.ediv a b) b) r));
+    prop "string roundtrip" 200 arb_signed (fun a ->
+        Z.equal a (Z.of_string (Z.to_string a)));
+    prop "bytes roundtrip" 200 arb_big (fun a ->
+        Z.equal a (Z.of_bytes_be (Z.to_bytes_be a)));
+    prop "hex roundtrip" 200 arb_big (fun a ->
+        Z.equal a (Z.of_hex (Z.to_hex a)));
+    prop "shift_left = mul 2^n" 200
+      (QCheck.make QCheck.Gen.(pair gen_signed (int_bound 200)))
+      (fun (a, n) -> Z.equal (Z.shift_left a n) (Z.mul a (Z.pow Z.two n)));
+    prop "shift_right floor" 200
+      (QCheck.make QCheck.Gen.(pair gen_signed (int_bound 200)))
+      (fun (a, n) ->
+        Z.equal (Z.shift_right a n) (Z.ediv a (Z.pow Z.two n)));
+    prop "compare antisymmetric" 300 arb_pair (fun (a, b) ->
+        Z.compare a b = - (Z.compare b a));
+    prop "gcd divides" 200 arb_pair (fun (a, b) ->
+        QCheck.assume (not (Z.is_zero a) || not (Z.is_zero b));
+        let g = Z.gcd a b in
+        Z.sign g > 0
+        && Z.is_zero (Z.rem a g) && Z.is_zero (Z.rem b g));
+    prop "bezout identity" 200 arb_pair (fun (a, b) ->
+        let g, u, v = Z.gcdext a b in
+        Z.equal g (Z.add (Z.mul u a) (Z.mul v b)));
+    prop "invert works mod odd prime" 100 arb_big (fun a ->
+        let p = Z.of_string "57896044618658097711785492504343953926634992332820282019728792003956564819949" in
+        let a = Z.erem a p in
+        QCheck.assume (not (Z.is_zero a));
+        Z.equal Z.one (Z.erem (Z.mul a (Z.invert a p)) p));
+    prop "barrett reduce = erem" 200 arb_pair (fun (a, m) ->
+        QCheck.assume (Z.sign m > 0 && Z.gt m Z.one);
+        let b = Barrett.create m in
+        Z.equal (Barrett.reduce b a) (Z.erem a m));
+    prop "barrett powm = naive" 60
+      (QCheck.make QCheck.Gen.(triple gen_big gen_big gen_big))
+      (fun (b_, e, m) ->
+        QCheck.assume (Z.gt m Z.one);
+        let ctx = Barrett.create m in
+        Z.equal (Barrett.powm ctx b_ e) (Z.mod_pow_naive b_ e m));
+    prop "montgomery powm = naive" 40
+      (QCheck.make QCheck.Gen.(triple gen_big gen_big gen_big))
+      (fun (b_, e, m) ->
+        QCheck.assume (Z.gt m Z.one);
+        let m = if Z.is_even m then Z.succ m else m in
+        let ctx = Montgomery.create m in
+        Z.equal (Montgomery.powm ctx b_ e) (Z.mod_pow_naive b_ e m));
+    prop "montgomery mulmod = erem" 100 arb_pair (fun (a, b) ->
+        let m = Z.of_string "170141183460469231731687303715884105727" in
+        let ctx = Montgomery.create m in
+        Z.equal (Montgomery.mulmod ctx a b) (Z.erem (Z.mul a b) m));
+    prop "montgomery roundtrip" 100 arb_big (fun a ->
+        let m = Z.of_string "57896044618658097711785492504343953926634992332820282019728792003956564819949" in
+        let ctx = Montgomery.create m in
+        Z.equal (Z.erem a m) (Montgomery.of_mont ctx (Montgomery.to_mont ctx a)));
+    prop "mul_low = mul mod base^k" 300
+      (QCheck.make QCheck.Gen.(triple gen_big gen_big (int_range 0 20)))
+      (fun (a, b, k) ->
+        let open Lbq_bignum in
+        let full = Nat.mul (Z.to_nat a) (Z.to_nat b) in
+        let reference =
+          if Array.length full <= k then full
+          else Nat.normalize (Array.sub full 0 k)
+        in
+        Nat.equal reference (Nat.mul_low (Z.to_nat a) (Z.to_nat b) k));
+    prop "random_below in range" 100
+      (QCheck.make QCheck.Gen.(pair gen_big (int_range 0 1000000)))
+      (fun (seed, salt) ->
+        ignore seed;
+        let st = Random.State.make [| salt |] in
+        let rand n = String.init n (fun _ -> Char.chr (Random.State.int st 256)) in
+        let bound = Z.add (Z.of_int (salt + 2)) (Z.pow Z.two (salt mod 64)) in
+        let r = Z.random_below ~bound rand in
+        Z.sign r >= 0 && Z.lt r bound);
+  ]
+
+let () =
+  Alcotest.run "lbq_bignum"
+    [ ("units",
+       [ Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+         Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+         Alcotest.test_case "hex" `Quick test_hex;
+         Alcotest.test_case "bytes" `Quick test_bytes;
+         Alcotest.test_case "division exceptions" `Quick test_div_exceptions;
+         Alcotest.test_case "pow" `Quick test_pow;
+         Alcotest.test_case "knuth adversarial" `Quick test_knuth_adversarial;
+         Alcotest.test_case "shift" `Quick test_shift;
+         Alcotest.test_case "numbits" `Quick test_numbits;
+         Alcotest.test_case "barrett basic" `Quick test_barrett_basic ]);
+      ("properties", props) ]

@@ -1,0 +1,490 @@
+(* Tests for lbq_geo: coordinates, POI encoding, grids and the P->Q
+   association, synthetic workloads, and the reference k-NN search. *)
+
+open Lbq_geo
+
+let coord = Alcotest.testable Coord.pp Coord.equal
+let poit = Alcotest.testable Poi.pp Poi.equal
+
+let area =
+  Coord.Rect.make ~min:(Coord.make ~x:0. ~y:0.) ~max:(Coord.make ~x:1000. ~y:800.)
+
+(* ------------------------------------------------------------------ *)
+(* Coord                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_distance () =
+  let a = Coord.make ~x:0. ~y:0. and b = Coord.make ~x:3. ~y:4. in
+  Alcotest.(check (float 1e-9)) "3-4-5" 5. (Coord.distance a b);
+  Alcotest.(check (float 1e-9)) "sq" 25. (Coord.distance_sq a b);
+  Alcotest.(check (float 1e-9)) "self" 0. (Coord.distance a a)
+
+let test_rect () =
+  Alcotest.(check bool) "contains" true
+    (Coord.Rect.contains area (Coord.make ~x:500. ~y:400.));
+  Alcotest.(check bool) "boundary" true
+    (Coord.Rect.contains area (Coord.make ~x:1000. ~y:800.));
+  Alcotest.(check bool) "outside" false
+    (Coord.Rect.contains area (Coord.make ~x:1000.1 ~y:0.));
+  Alcotest.check coord "center" (Coord.make ~x:500. ~y:400.)
+    (Coord.Rect.center area);
+  Alcotest.check_raises "inverted" (Invalid_argument "Coord.Rect.make: inverted")
+    (fun () ->
+      ignore (Coord.Rect.make ~min:(Coord.make ~x:1. ~y:0.)
+                ~max:(Coord.make ~x:0. ~y:0.)))
+
+let test_square_around () =
+  let cr = Coord.Rect.square_around ~bound:area ~side:100.
+      (Coord.make ~x:500. ~y:400.) in
+  Alcotest.(check (float 1e-9)) "width" 100. (Coord.Rect.width cr);
+  Alcotest.(check (float 1e-9)) "height" 100. (Coord.Rect.height cr);
+  Alcotest.check coord "centred" (Coord.make ~x:500. ~y:400.) (Coord.Rect.center cr);
+  (* Clamped at the corner: the square stays inside the bound. *)
+  let cr = Coord.Rect.square_around ~bound:area ~side:100. (Coord.make ~x:0. ~y:0.) in
+  Alcotest.(check bool) "clamped inside" true
+    (Coord.Rect.contains area (Coord.Rect.min cr)
+     && Coord.Rect.contains area (Coord.Rect.max cr))
+
+(* ------------------------------------------------------------------ *)
+(* Poi                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample_poi =
+  Poi.make ~id:42 ~position:(Coord.make ~x:123.5 ~y:678.25) ~category:"cafe"
+    ~name:"cafe-0042"
+
+let test_poi_roundtrip () =
+  let enc = Poi.encode sample_poi in
+  Alcotest.(check int) "size" Poi.encoded_size (String.length enc);
+  Alcotest.check poit "roundtrip" sample_poi (Poi.decode enc);
+  let d = Poi.dummy ~id:7 in
+  Alcotest.check poit "dummy roundtrip" d (Poi.decode (Poi.encode d));
+  Alcotest.(check bool) "dummy flag" true (Poi.is_dummy (Poi.decode (Poi.encode d)))
+
+let test_poi_block () =
+  let pois = [ sample_poi; Poi.dummy ~id:43; sample_poi ] in
+  let block = Poi.encode_block pois in
+  Alcotest.(check int) "block size" (3 * Poi.encoded_size) (String.length block);
+  Alcotest.(check (list poit)) "block roundtrip" pois (Poi.decode_block block)
+
+let test_poi_validation () =
+  Alcotest.check_raises "long name" (Invalid_argument "Poi.make: name too long")
+    (fun () ->
+      ignore (Poi.make ~id:1 ~position:(Coord.make ~x:0. ~y:0.) ~category:"x"
+                ~name:(String.make 28 'n')));
+  Alcotest.check_raises "bad length" (Invalid_argument "Poi.decode: bad length")
+    (fun () -> ignore (Poi.decode "short"));
+  (* Corrupt flags byte must be rejected. *)
+  let enc = Bytes.of_string (Poi.encode sample_poi) in
+  Bytes.set enc 4 '\xff';
+  Alcotest.check_raises "corrupt flags"
+    (Invalid_argument "Poi.decode: corrupt flags") (fun () ->
+      ignore (Poi.decode (Bytes.to_string enc)))
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lattice_cells () =
+  let l = Grid.lattice ~area ~rows:8 ~cols:10 in
+  Alcotest.(check (float 1e-9)) "cell w" 100. (Grid.cell_width l);
+  Alcotest.(check (float 1e-9)) "cell h" 100. (Grid.cell_height l);
+  let c = Grid.cell_of_coord l (Coord.make ~x:250. ~y:450.) in
+  Alcotest.(check bool) "cell (4,2)" true
+    (Grid.cell_equal c { Grid.row = 4; col = 2 });
+  (* Far edges belong to the last cells. *)
+  let c = Grid.cell_of_coord l (Coord.make ~x:1000. ~y:800.) in
+  Alcotest.(check bool) "corner" true
+    (Grid.cell_equal c { Grid.row = 7; col = 9 });
+  Alcotest.check_raises "outside"
+    (Invalid_argument "Grid.cell_of_coord: outside the area") (fun () ->
+      ignore (Grid.cell_of_coord l (Coord.make ~x:(-1.) ~y:0.)))
+
+let test_cell_rect_inverse () =
+  (* cell_of_coord (cell_center c) = c for every cell. *)
+  let l = Grid.lattice ~area ~rows:5 ~cols:7 in
+  for row = 0 to 4 do
+    for col = 0 to 6 do
+      let c = { Grid.row; col } in
+      let c' = Grid.cell_of_coord l (Grid.cell_center l c) in
+      if not (Grid.cell_equal c c') then
+        Alcotest.failf "cell (%d,%d) recovered as (%d,%d)" row col
+          c'.Grid.row c'.Grid.col
+    done
+  done
+
+let some_pois =
+  List.init 60 (fun i ->
+      Poi.make ~id:i
+        ~position:(Coord.make
+                     ~x:(float_of_int ((i * 137) mod 1000))
+                     ~y:(float_of_int ((i * 73) mod 800)))
+        ~category:"atm" ~name:(Printf.sprintf "atm-%03d" i))
+
+let test_partition_uniform () =
+  let part = Grid.partition ~area ~rows:4 ~cols:4 some_pois in
+  let rmax = Grid.rmax part in
+  for idx = 0 to Grid.cell_count part - 1 do
+    let cell = Grid.cell_pois part idx in
+    Alcotest.(check int) (Printf.sprintf "cell %d size" idx) rmax
+      (List.length cell);
+    (* Real POIs of the cell really belong there. *)
+    List.iter
+      (fun p ->
+        if not (Poi.is_dummy p) then begin
+          let c = Grid.cell_of_coord (Grid.q_lattice part) (Poi.position p) in
+          Alcotest.(check int) "poi in right cell" idx (Grid.q_index part c)
+        end)
+      cell
+  done;
+  (* Every real POI is present exactly once. *)
+  let total_real =
+    List.init (Grid.cell_count part) (fun i -> Grid.real_count part i)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "no pois lost" (List.length some_pois) total_real
+
+let test_partition_rmax_error () =
+  Alcotest.check_raises "rmax too small"
+    (Invalid_argument "Grid.partition: a cell exceeds rmax") (fun () ->
+      ignore (Grid.partition ~rmax:1 ~area ~rows:2 ~cols:2 some_pois))
+
+let test_partition_dummy_ids_distinct () =
+  let part = Grid.partition ~area ~rows:3 ~cols:3 some_pois in
+  let seen = Hashtbl.create 64 in
+  for idx = 0 to Grid.cell_count part - 1 do
+    List.iter
+      (fun p ->
+        let id = Poi.id p in
+        if Hashtbl.mem seen id then Alcotest.failf "duplicate id %d" id;
+        Hashtbl.replace seen id ())
+      (Grid.cell_pois part idx)
+  done
+
+let test_association_total () =
+  let part = Grid.partition ~area ~rows:5 ~cols:5 some_pois in
+  let p = Grid.lattice ~area ~rows:25 ~cols:25 in
+  Alcotest.(check bool) "total" true (Grid.total_association p part);
+  (* A public cell's centre lies inside the private cell it maps to. *)
+  let c = { Grid.row = 13; col = 7 } in
+  let idx = Grid.associate p part c in
+  let qcell =
+    Grid.cell_of_coord (Grid.q_lattice part) (Grid.cell_center p c)
+  in
+  Alcotest.(check int) "consistent" idx (Grid.q_index part qcell)
+
+(* ------------------------------------------------------------------ *)
+(* Synth                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_synth_deterministic () =
+  let spec = Synth.city ~count:200 () in
+  let a = Synth.generate ~seed:"s" spec and b = Synth.generate ~seed:"s" spec in
+  Alcotest.(check (list poit)) "same seed" a b;
+  let c = Synth.generate ~seed:"t" spec in
+  Alcotest.(check bool) "different seed" false (List.equal Poi.equal a c)
+
+let test_synth_in_area () =
+  let spec = Synth.city ~side:5000. ~count:500 () in
+  let pois = Synth.generate spec in
+  Alcotest.(check int) "count" 500 (List.length pois);
+  List.iter
+    (fun p ->
+      if not (Coord.Rect.contains spec.Synth.area (Poi.position p)) then
+        Alcotest.failf "poi %d outside area" (Poi.id p))
+    pois
+
+let test_walk () =
+  let path = Synth.walk ~area ~steps:50 ~stride:25. () in
+  Alcotest.(check int) "length" 50 (List.length path);
+  let rec check_strides = function
+    | a :: (b :: _ as rest) ->
+      if Coord.distance a b > 25. +. 1e-6 then
+        Alcotest.fail "stride exceeded";
+      check_strides rest
+    | _ -> ()
+  in
+  check_strides path;
+  List.iter
+    (fun c ->
+      if not (Coord.Rect.contains area c) then Alcotest.fail "walked outside")
+    path
+
+(* ------------------------------------------------------------------ *)
+(* Nn                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_nn_basic () =
+  let from = Coord.make ~x:0. ~y:0. in
+  let mk id x = Poi.make ~id ~position:(Coord.make ~x ~y:0.) ~category:"c" ~name:"n" in
+  let pois = [ mk 1 50.; mk 2 10.; mk 3 30.; Poi.dummy ~id:4 ] in
+  let nearest = Nn.k_nearest ~k:2 ~from pois in
+  Alcotest.(check (list int)) "order" [ 2; 3 ] (List.map Poi.id nearest);
+  Alcotest.(check int) "nearest" 2
+    (match Nn.nearest ~from pois with Some p -> Poi.id p | None -> -1);
+  Alcotest.(check (list int)) "within 35" [ 2; 3 ]
+    (List.map Poi.id (Nn.within ~radius:35. ~from pois));
+  Alcotest.(check (list int)) "k too large returns all real" [ 2; 3; 1 ]
+    (List.map Poi.id (Nn.k_nearest ~k:10 ~from pois))
+
+let test_nn_excludes_dummies () =
+  let from = Coord.make ~x:0. ~y:0. in
+  (* The dummy sits exactly at the query point but must never appear. *)
+  let pois = [ Poi.dummy ~id:1 ] in
+  Alcotest.(check int) "no dummies" 0 (List.length (Nn.k_nearest ~k:5 ~from pois))
+
+(* ------------------------------------------------------------------ *)
+(* Poi_file                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_poi_file_roundtrip () =
+  let pois =
+    [ Poi.make ~id:1 ~position:(Coord.make ~x:12.5 ~y:800.125) ~category:"atm"
+        ~name:"atm west";
+      Poi.make ~id:2 ~position:(Coord.make ~x:0. ~y:0.) ~category:"cafe"
+        ~name:"cafe-0002" ]
+  in
+  let path = Filename.temp_file "lbq" ".poi" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Poi_file.save path pois;
+      let loaded = Poi_file.load path in
+      Alcotest.(check int) "count" 2 (List.length loaded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check int) "id" (Poi.id a) (Poi.id b);
+          Alcotest.(check string) "name" (Poi.name a) (Poi.name b);
+          Alcotest.(check (float 0.001)) "x"
+            (Coord.x (Poi.position a)) (Coord.x (Poi.position b)))
+        pois loaded)
+
+let test_poi_file_skips_dummies_and_comments () =
+  let path = Filename.temp_file "lbq" ".poi" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Poi_file.save path
+        [ Poi.dummy ~id:9;
+          Poi.make ~id:3 ~position:(Coord.make ~x:1. ~y:2.) ~category:"c"
+            ~name:"n" ];
+      let loaded = Poi_file.load path in
+      Alcotest.(check int) "dummies dropped" 1 (List.length loaded));
+  (* Comments and blank lines are fine. *)
+  let path2 = Filename.temp_file "lbq" ".poi" in
+  Fun.protect ~finally:(fun () -> Sys.remove path2) (fun () ->
+      let oc = open_out path2 in
+      output_string oc (Poi_file.header ^ "\n\n# a comment\n5\t1.0\t2.0\tatm\tfoo\n");
+      close_out oc;
+      Alcotest.(check int) "parsed" 1 (List.length (Poi_file.load path2)))
+
+let test_poi_file_errors () =
+  let check_fails content expected_line =
+    let path = Filename.temp_file "lbq" ".poi" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        match Poi_file.load path with
+        | _ -> Alcotest.failf "accepted %S" content
+        | exception Poi_file.Parse_error { line; _ } ->
+          Alcotest.(check int) "line" expected_line line)
+  in
+  check_fails "garbage\n" 1;
+  check_fails (Poi_file.header ^ "\nnot-tabs\n") 2;
+  check_fails (Poi_file.header ^ "\n1\tx\t2.0\tc\tn\n") 2;
+  check_fails (Poi_file.header ^ "\n1\t1.0\t2.0\tc\tn\n1\t3.0\t4.0\tc\tm\n") 3;
+  (* Control characters in fields are refused at save time. *)
+  Alcotest.check_raises "tab in name"
+    (Invalid_argument "Poi_file: name contains control characters")
+    (fun () ->
+      ignore
+        (Poi_file.to_line
+           (Poi.make ~id:1 ~position:(Coord.make ~x:0. ~y:0.) ~category:"c"
+              ~name:"a\tb")))
+
+(* ------------------------------------------------------------------ *)
+(* Quadtree                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let city_pois =
+  Synth.generate ~seed:"quadtree"
+    (Synth.city ~side:1000. ~count:400 ~clusters:5 ())
+
+let qt_area =
+  Coord.Rect.make ~min:(Coord.make ~x:0. ~y:0.)
+    ~max:(Coord.make ~x:1000. ~y:1000.)
+
+let test_quadtree_basics () =
+  let t = Quadtree.build ~area:qt_area city_pois in
+  Alcotest.(check int) "size" 400 (Quadtree.size t);
+  Alcotest.check_raises "outside"
+    (Invalid_argument "Quadtree.build: POI outside the area") (fun () ->
+      ignore
+        (Quadtree.build ~area:qt_area
+           [ Poi.make ~id:1 ~position:(Coord.make ~x:(-5.) ~y:0.)
+               ~category:"c" ~name:"n" ]));
+  (* Dummies are excluded. *)
+  let t2 = Quadtree.build ~area:qt_area [ Poi.dummy ~id:1 ] in
+  Alcotest.(check int) "dummies excluded" 0 (Quadtree.size t2)
+
+let test_quadtree_matches_nn () =
+  let t = Quadtree.build ~area:qt_area city_pois in
+  let probes =
+    [ 0., 0.; 500., 500.; 999., 999.; 123., 877.; 400., 12. ]
+  in
+  List.iter
+    (fun (x, y) ->
+      let from = Coord.make ~x ~y in
+      List.iter
+        (fun k ->
+          Alcotest.(check (list poit))
+            (Printf.sprintf "knn k=%d at (%.0f,%.0f)" k x y)
+            (Nn.k_nearest ~k ~from city_pois)
+            (Quadtree.k_nearest t ~k ~from))
+        [ 1; 3; 10; 500 ];
+      List.iter
+        (fun radius ->
+          Alcotest.(check (list poit))
+            (Printf.sprintf "within %.0f at (%.0f,%.0f)" radius x y)
+            (Nn.within ~radius ~from city_pois)
+            (Quadtree.within t ~radius ~from))
+        [ 0.; 50.; 200.; 2000. ])
+    probes
+
+let test_quadtree_coincident_points () =
+  (* Many POIs at the same position must not split forever. *)
+  let stack =
+    List.init 50 (fun i ->
+        Poi.make ~id:i ~position:(Coord.make ~x:10. ~y:10.) ~category:"c"
+          ~name:"n")
+  in
+  let t = Quadtree.build ~capacity:2 ~area:qt_area stack in
+  Alcotest.(check int) "all present" 50 (Quadtree.size t);
+  Alcotest.(check int) "knn finds them" 5
+    (List.length (Quadtree.k_nearest t ~k:5 ~from:(Coord.make ~x:0. ~y:0.)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let arb_coord =
+  QCheck.make
+    QCheck.Gen.(map2 (fun x y -> Coord.make ~x:(x *. 1000.) ~y:(y *. 800.))
+                  (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+    ~print:(Format.asprintf "%a" Coord.pp)
+
+let props =
+  [ prop "triangle inequality" 300 (QCheck.triple arb_coord arb_coord arb_coord)
+      (fun (a, b, c) ->
+        Coord.distance a c <= Coord.distance a b +. Coord.distance b c +. 1e-9);
+    prop "cell_of_coord total over area" 300 arb_coord (fun c ->
+        let l = Grid.lattice ~area ~rows:7 ~cols:9 in
+        let cell = Grid.cell_of_coord l c in
+        cell.Grid.row >= 0 && cell.Grid.row < 7
+        && cell.Grid.col >= 0 && cell.Grid.col < 9
+        && Coord.Rect.contains (Grid.cell_rect l cell) c);
+    prop "poi encode/decode roundtrip" 200
+      (QCheck.make
+         QCheck.Gen.(quad (int_bound 1000000) (float_bound_inclusive 1000.)
+                       (float_bound_inclusive 1000.) (string_size (int_bound 20))))
+      (fun (id, x, y, name) ->
+        let name = String.map (fun c -> if c = '\x00' then 'x' else c) name in
+        let p = Poi.make ~id ~position:(Coord.make ~x ~y) ~category:"cat" ~name in
+        Poi.equal p (Poi.decode (Poi.encode p)));
+    prop "quadtree knn = nn oracle on random sets" 60
+      (QCheck.make
+         QCheck.Gen.(triple (int_range 0 120) (int_range 1 8) (int_range 0 10000)))
+      (fun (n, k, seed) ->
+        let pois =
+          List.init n (fun i ->
+              Poi.make ~id:i
+                ~position:(Coord.make
+                             ~x:(float_of_int ((seed + (i * 131)) mod 1000))
+                             ~y:(float_of_int ((seed + (i * 797)) mod 800)))
+                ~category:"c" ~name:"n")
+        in
+        let t = Quadtree.build ~capacity:4 ~area pois in
+        let from =
+          Coord.make ~x:(float_of_int (seed mod 1000))
+            ~y:(float_of_int (seed mod 800))
+        in
+        List.equal Poi.equal
+          (Quadtree.k_nearest t ~k ~from)
+          (Nn.k_nearest ~k ~from pois));
+    prop "poi_file line roundtrip" 100
+      (QCheck.make
+         QCheck.Gen.(quad (int_bound 100000) (float_bound_inclusive 999.)
+                       (float_bound_inclusive 799.) (int_bound 7)))
+      (fun (id, x, y, cat) ->
+        (* Positions written at 1 mm precision: compare at that scale. *)
+        let x = Float.round (x *. 1000.) /. 1000. in
+        let y = Float.round (y *. 1000.) /. 1000. in
+        let category = Printf.sprintf "cat%d" cat in
+        let p =
+          Poi.make ~id ~position:(Coord.make ~x ~y) ~category ~name:"name"
+        in
+        let p' = Poi_file.of_line ~line:2 (Poi_file.to_line p) in
+        Poi.id p' = id
+        && String.equal (Poi.category p') category
+        && Float.abs (Coord.x (Poi.position p') -. x) < 0.001
+        && Float.abs (Coord.y (Poi.position p') -. y) < 0.001);
+    prop "k_nearest matches sort oracle" 100
+      (QCheck.make QCheck.Gen.(pair (int_range 1 10) (int_range 0 50)))
+      (fun (k, n) ->
+        let pois =
+          List.init n (fun i ->
+              Poi.make ~id:i
+                ~position:(Coord.make ~x:(float_of_int ((i * 61) mod 97))
+                             ~y:(float_of_int ((i * 31) mod 83)))
+                ~category:"c" ~name:"n")
+        in
+        let from = Coord.make ~x:48. ~y:41. in
+        let got = Nn.k_nearest ~k ~from pois in
+        let expected =
+          List.sort
+            (fun a b ->
+              compare
+                (Coord.distance_sq from (Poi.position a), Poi.id a)
+                (Coord.distance_sq from (Poi.position b), Poi.id b))
+            pois
+          |> List.filteri (fun i _ -> i < k)
+        in
+        List.equal Poi.equal got expected);
+  ]
+
+let () =
+  Alcotest.run "lbq_geo"
+    [ ("coord",
+       [ Alcotest.test_case "distance" `Quick test_distance;
+         Alcotest.test_case "rect" `Quick test_rect;
+         Alcotest.test_case "square_around" `Quick test_square_around ]);
+      ("poi",
+       [ Alcotest.test_case "roundtrip" `Quick test_poi_roundtrip;
+         Alcotest.test_case "block" `Quick test_poi_block;
+         Alcotest.test_case "validation" `Quick test_poi_validation ]);
+      ("grid",
+       [ Alcotest.test_case "lattice cells" `Quick test_lattice_cells;
+         Alcotest.test_case "cell rect inverse" `Quick test_cell_rect_inverse;
+         Alcotest.test_case "partition uniform" `Quick test_partition_uniform;
+         Alcotest.test_case "rmax error" `Quick test_partition_rmax_error;
+         Alcotest.test_case "dummy ids distinct" `Quick
+           test_partition_dummy_ids_distinct;
+         Alcotest.test_case "association total" `Quick test_association_total ]);
+      ("synth",
+       [ Alcotest.test_case "deterministic" `Quick test_synth_deterministic;
+         Alcotest.test_case "in area" `Quick test_synth_in_area;
+         Alcotest.test_case "walk" `Quick test_walk ]);
+      ("poi-file",
+       [ Alcotest.test_case "roundtrip" `Quick test_poi_file_roundtrip;
+         Alcotest.test_case "dummies and comments" `Quick
+           test_poi_file_skips_dummies_and_comments;
+         Alcotest.test_case "errors" `Quick test_poi_file_errors ]);
+      ("quadtree",
+       [ Alcotest.test_case "basics" `Quick test_quadtree_basics;
+         Alcotest.test_case "matches nn oracle" `Quick test_quadtree_matches_nn;
+         Alcotest.test_case "coincident points" `Quick
+           test_quadtree_coincident_points ]);
+      ("nn",
+       [ Alcotest.test_case "basic" `Quick test_nn_basic;
+         Alcotest.test_case "excludes dummies" `Quick test_nn_excludes_dummies ]);
+      ("properties", props) ]

@@ -1,0 +1,221 @@
+(* Tests for lbq_group: Schnorr group structure, ElGamal round-trips and
+   homomorphisms, Paillier round-trips and homomorphisms. *)
+
+open Lbq_bignum
+open Lbq_numth
+open Lbq_group
+open Lbq_crypto
+
+let z = Alcotest.testable Z.pp Z.equal
+
+let drbg = Drbg.create ~seed:"test-group" ()
+let rand = Drbg.rand drbg
+
+let grp = Schnorr.test_group ()
+
+(* ------------------------------------------------------------------ *)
+(* Schnorr                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_groups_valid () =
+  List.iter
+    (fun (name, g, bits) ->
+      Alcotest.(check int) (name ^ " p bits") bits (Schnorr.p_bits g);
+      Alcotest.(check int) (name ^ " q bits") 160 (Schnorr.q_bits g);
+      Alcotest.(check bool) (name ^ " q | p-1") true
+        (Z.is_zero (Z.erem (Z.pred (Schnorr.p g)) (Schnorr.q g)));
+      Alcotest.(check bool) (name ^ " g in subgroup") true
+        (Schnorr.mem g (Schnorr.g g));
+      Alcotest.(check bool) (name ^ " q prime") true
+        (Primality.is_prime ~rand (Schnorr.q g)))
+    [ "test", Schnorr.test_group (), 256;
+      "mid", Schnorr.mid_group (), 512;
+      "paper", Schnorr.paper_group (), 1024 ]
+
+let test_fixed_p_prime () =
+  (* Expensive-ish: check primality of all three fixed moduli. *)
+  List.iter
+    (fun g -> Alcotest.(check bool) "p prime" true
+        (Primality.is_prime ~rand (Schnorr.p g)))
+    [ Schnorr.test_group (); Schnorr.mid_group (); Schnorr.paper_group () ]
+
+let test_group_laws () =
+  let a = Schnorr.pow_g grp (Z.of_int 12345) in
+  let b = Schnorr.pow_g grp (Z.of_int 54321) in
+  Alcotest.check z "commutes" (Schnorr.mul grp a b) (Schnorr.mul grp b a);
+  Alcotest.check z "inverse" Z.one (Schnorr.mul grp a (Schnorr.inv grp a));
+  Alcotest.check z "exp adds"
+    (Schnorr.pow_g grp (Z.of_int (12345 + 54321)))
+    (Schnorr.mul grp a b);
+  Alcotest.(check bool) "product in subgroup" true
+    (Schnorr.mem grp (Schnorr.mul grp a b));
+  Alcotest.(check bool) "2 not in subgroup (almost surely)" false
+    (Schnorr.mem grp Z.two)
+
+let test_pow_reduces_exponent () =
+  let e = Z.of_int 7 in
+  Alcotest.check z "e vs e+q"
+    (Schnorr.pow_g grp e)
+    (Schnorr.pow_g grp (Z.add e (Schnorr.q grp)))
+
+let test_of_params_validation () =
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Schnorr.of_params: q does not divide p - 1")
+    (fun () ->
+      ignore (Schnorr.of_params ~p:(Schnorr.p grp) ~q:(Z.of_int 65537)
+                ~g:(Schnorr.g grp)));
+  Alcotest.check_raises "bad g"
+    (Invalid_argument "Schnorr.of_params: g does not generate the order-q subgroup")
+    (fun () ->
+      ignore (Schnorr.of_params ~p:(Schnorr.p grp) ~q:(Schnorr.q grp) ~g:Z.two))
+
+let test_generate_small () =
+  let g = Schnorr.generate ~p_bits:128 ~q_bits:64 rand in
+  Alcotest.(check int) "p bits" 128 (Schnorr.p_bits g);
+  Alcotest.(check bool) "g in subgroup" true (Schnorr.mem g (Schnorr.g g))
+
+(* ------------------------------------------------------------------ *)
+(* ElGamal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_elgamal_roundtrip () =
+  let sk = Elgamal.keygen grp rand in
+  let pk = Elgamal.public_of_private sk in
+  let m = Schnorr.pow_g grp (Z.of_int 99991) in
+  let c = Elgamal.encrypt pk ~rand m in
+  Alcotest.check z "dec(enc(m)) = m" m (Elgamal.decrypt sk c)
+
+let test_elgamal_exp_roundtrip () =
+  let sk = Elgamal.keygen grp rand in
+  let pk = Elgamal.public_of_private sk in
+  (* Negative exponents work: the paper's queries use g^{-i}. *)
+  List.iter
+    (fun i ->
+      let c = Elgamal.encrypt_exp pk ~rand (Z.of_int i) in
+      Alcotest.check z
+        (Printf.sprintf "g^%d" i)
+        (Schnorr.pow_g grp (Z.of_int i))
+        (Elgamal.decrypt_exp_to_group sk c))
+    [ 0; 1; 7; -3; -24 ]
+
+let test_elgamal_nondeterministic () =
+  let sk = Elgamal.keygen grp rand in
+  let pk = Elgamal.public_of_private sk in
+  let m = Schnorr.pow_g grp (Z.of_int 5) in
+  let c1 = Elgamal.encrypt pk ~rand m and c2 = Elgamal.encrypt pk ~rand m in
+  Alcotest.(check bool) "fresh randomness" false (Z.equal c1.Elgamal.a c2.Elgamal.a)
+
+let test_elgamal_homomorphic () =
+  let sk = Elgamal.keygen grp rand in
+  let pk = Elgamal.public_of_private sk in
+  let c1 = Elgamal.encrypt_exp pk ~rand (Z.of_int 11) in
+  let c2 = Elgamal.encrypt_exp pk ~rand (Z.of_int 31) in
+  Alcotest.check z "cmul adds exponents"
+    (Schnorr.pow_g grp (Z.of_int 42))
+    (Elgamal.decrypt sk (Elgamal.cmul grp c1 c2));
+  Alcotest.check z "cpow scales exponent"
+    (Schnorr.pow_g grp (Z.of_int 33))
+    (Elgamal.decrypt sk (Elgamal.cpow grp c1 (Z.of_int 3)));
+  let m = Schnorr.pow_g grp (Z.of_int 100) in
+  Alcotest.check z "cmul_plain"
+    (Schnorr.pow_g grp (Z.of_int 111))
+    (Elgamal.decrypt sk (Elgamal.cmul_plain grp c1 m))
+
+let test_elgamal_reject_nonmember () =
+  let sk = Elgamal.keygen grp rand in
+  let pk = Elgamal.public_of_private sk in
+  Alcotest.check_raises "non-member"
+    (Invalid_argument "Elgamal.encrypt: not a group element")
+    (fun () -> ignore (Elgamal.encrypt pk ~rand Z.two))
+
+let test_keygen_with_secret () =
+  let sk = Elgamal.keygen_with_secret grp ~x:(Z.of_int 49) in
+  Alcotest.check z "y = g^x"
+    (Schnorr.pow_g grp (Z.of_int 49))
+    (Elgamal.public_of_private sk).Elgamal.y
+
+(* ------------------------------------------------------------------ *)
+(* Paillier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let psk = Paillier.keygen ~bits:256 rand
+let ppk = Paillier.public_of_private psk
+
+let test_paillier_roundtrip () =
+  List.iter
+    (fun m ->
+      let m = Z.of_int m in
+      Alcotest.check z (Z.to_string m) m
+        (Paillier.decrypt psk (Paillier.encrypt ppk ~rand m)))
+    [ 0; 1; 42; 123456789 ]
+
+let test_paillier_homomorphic () =
+  let a = Z.of_int 1234 and b = Z.of_int 8766 in
+  let ca = Paillier.encrypt ppk ~rand a and cb = Paillier.encrypt ppk ~rand b in
+  Alcotest.check z "add" (Z.of_int 10000)
+    (Paillier.decrypt psk (Paillier.add ppk ca cb));
+  Alcotest.check z "scale" (Z.of_int 6170)
+    (Paillier.decrypt psk (Paillier.scale ppk ca (Z.of_int 5)));
+  Alcotest.check z "add_plain" (Z.of_int 1300)
+    (Paillier.decrypt psk (Paillier.add_plain ppk ca (Z.of_int 66)));
+  Alcotest.check z "rerandomize keeps plaintext" a
+    (Paillier.decrypt psk (Paillier.rerandomize ppk ~rand ca))
+
+let test_paillier_subtraction_sign () =
+  (* The baseline's comparison protocol computes E(a - b) and checks the
+     "sign" by magnitude: a - b mod n is huge when negative. *)
+  let a = Z.of_int 10 and b = Z.of_int 25 in
+  let ca = Paillier.encrypt ppk ~rand a in
+  let diff = Paillier.add_plain ppk (Paillier.scale ppk ca Z.one) (Z.neg b) in
+  let d = Paillier.decrypt psk diff in
+  (* d = a - b mod n = n - 15. *)
+  Alcotest.check z "wraps" (Z.sub (Paillier.modulus ppk) (Z.of_int 15)) d
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let props =
+  [ prop "elgamal dec . enc = id" 30 QCheck.small_nat (fun e ->
+        let sk = Elgamal.keygen grp rand in
+        let pk = Elgamal.public_of_private sk in
+        let m = Schnorr.pow_g grp (Z.of_int e) in
+        Z.equal m (Elgamal.decrypt sk (Elgamal.encrypt pk ~rand m)));
+    prop "paillier dec . enc = id" 30
+      (QCheck.make QCheck.Gen.(int_range 0 1000000000))
+      (fun m ->
+        let m = Z.of_int m in
+        Z.equal m (Paillier.decrypt psk (Paillier.encrypt ppk ~rand m)));
+    prop "paillier additively homomorphic" 30
+      (QCheck.make QCheck.Gen.(pair (int_range 0 100000) (int_range 0 100000)))
+      (fun (a, b) ->
+        let ca = Paillier.encrypt ppk ~rand (Z.of_int a) in
+        let cb = Paillier.encrypt ppk ~rand (Z.of_int b) in
+        Z.equal (Z.of_int (a + b))
+          (Paillier.decrypt psk (Paillier.add ppk ca cb)));
+  ]
+
+let () =
+  Alcotest.run "lbq_group"
+    [ ("schnorr",
+       [ Alcotest.test_case "fixed groups valid" `Quick test_fixed_groups_valid;
+         Alcotest.test_case "fixed p prime" `Slow test_fixed_p_prime;
+         Alcotest.test_case "group laws" `Quick test_group_laws;
+         Alcotest.test_case "pow reduces exponent" `Quick test_pow_reduces_exponent;
+         Alcotest.test_case "of_params validation" `Quick test_of_params_validation;
+         Alcotest.test_case "generate small" `Quick test_generate_small ]);
+      ("elgamal",
+       [ Alcotest.test_case "roundtrip" `Quick test_elgamal_roundtrip;
+         Alcotest.test_case "exp roundtrip" `Quick test_elgamal_exp_roundtrip;
+         Alcotest.test_case "nondeterministic" `Quick test_elgamal_nondeterministic;
+         Alcotest.test_case "homomorphic" `Quick test_elgamal_homomorphic;
+         Alcotest.test_case "reject non-member" `Quick test_elgamal_reject_nonmember;
+         Alcotest.test_case "keygen with secret" `Quick test_keygen_with_secret ]);
+      ("paillier",
+       [ Alcotest.test_case "roundtrip" `Quick test_paillier_roundtrip;
+         Alcotest.test_case "homomorphic" `Quick test_paillier_homomorphic;
+         Alcotest.test_case "subtraction sign" `Quick test_paillier_subtraction_sign ]);
+      ("properties", props) ]

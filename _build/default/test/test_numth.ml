@@ -1,0 +1,370 @@
+(* Tests for lbq_numth: sieve/Miller-Rabin agreement (including Carmichael
+   numbers), prime generation structure, CRT, Jacobi, and discrete logs. *)
+
+open Lbq_bignum
+open Lbq_numth
+open Lbq_crypto
+
+let z = Alcotest.testable Z.pp Z.equal
+let zopt = Alcotest.option z
+
+let drbg = Drbg.create ~seed:"test-numth" ()
+let rand = Drbg.rand drbg
+
+(* ------------------------------------------------------------------ *)
+(* Sieve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sieve () =
+  Alcotest.(check (list int)) "below 30" [2; 3; 5; 7; 11; 13; 17; 19; 23; 29]
+    (Sieve.primes_below 30);
+  Alcotest.(check (list int)) "first 5 from 3" [3; 5; 7; 11; 13]
+    (Sieve.first_primes ~from:3 5);
+  Alcotest.(check int) "count below 10000" 1229
+    (List.length (Sieve.primes_below 10000));
+  (* The paper's PIR uses the first 225 primes starting at 3. *)
+  let ps = Sieve.first_primes ~from:3 225 in
+  Alcotest.(check int) "225 primes" 225 (List.length ps);
+  Alcotest.(check int) "starts at 3" 3 (List.hd ps);
+  Alcotest.(check bool) "all prime" true (List.for_all Sieve.is_small_prime ps)
+
+(* ------------------------------------------------------------------ *)
+(* Primality                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_primality_vs_sieve () =
+  (* Exhaustive agreement with the sieve below 20000. *)
+  let primes = Sieve.primes_below 20000 in
+  let set = Hashtbl.create 4096 in
+  List.iter (fun p -> Hashtbl.replace set p ()) primes;
+  for n = 0 to 19999 do
+    let expected = Hashtbl.mem set n in
+    if Primality.is_prime (Z.of_int n) <> expected then
+      Alcotest.failf "disagreement at %d" n
+  done
+
+let test_carmichael () =
+  (* Carmichael numbers fool Fermat but not Miller-Rabin. *)
+  let carmichaels = [ 561; 1105; 1729; 2465; 2821; 6601; 8911; 41041; 62745 ] in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (string_of_int n) false
+        (Primality.is_prime (Z.of_int n)))
+    carmichaels;
+  (* 561 = 3*11*17 passes Fermat for bases coprime to it. *)
+  Alcotest.(check bool) "fermat fooled by 561" true
+    (Primality.fermat_witness (Z.of_int 561) (Z.of_int 2))
+
+let test_known_big_primes () =
+  (* 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite (Fermat F7 != ok). *)
+  let m127 = Z.pred (Z.pow Z.two 127) in
+  Alcotest.(check bool) "2^127-1 prime" true (Primality.is_prime ~rand m127);
+  Alcotest.(check bool) "2^128+1 composite" false
+    (Primality.is_prime ~rand (Z.succ (Z.pow Z.two 128)));
+  (* RSA-style semiprime: product of two 64-bit primes. *)
+  let p = Primegen.random_prime ~bits:64 rand in
+  let q = Primegen.random_prime ~bits:64 rand in
+  Alcotest.(check bool) "semiprime composite" false
+    (Primality.is_prime ~rand (Z.mul p q))
+
+let test_primegen () =
+  List.iter
+    (fun bits ->
+      let p = Primegen.random_prime ~bits rand in
+      Alcotest.(check int) (Printf.sprintf "width %d" bits) bits (Z.numbits p);
+      Alcotest.(check bool) "prime" true (Primality.is_prime ~rand p))
+    [ 16; 32; 64; 128; 256 ]
+
+let test_semi_safe () =
+  (* Q = 2*q*multiple + 1 with the pi = 3^5 structure of the PIR query. *)
+  let pi = Z.pow (Z.of_int 3) 5 in
+  let q, qq = Primegen.semi_safe ~q_bits:32 ~multiple:pi rand in
+  Alcotest.(check bool) "q prime" true (Primality.is_prime ~rand q);
+  Alcotest.(check bool) "Q prime" true (Primality.is_prime ~rand qq);
+  Alcotest.check z "structure" qq (Z.succ (Z.shift_left (Z.mul q pi) 1));
+  (* phi(Q) = Q - 1 = 2*q*pi, hence pi | phi(Q). *)
+  Alcotest.check z "pi divides phi" Z.zero (Z.erem (Z.pred qq) pi)
+
+let test_schnorr_modulus () =
+  let q = Primegen.random_prime ~bits:32 rand in
+  let k, p = Primegen.schnorr_modulus ~p_bits:96 ~q rand in
+  Alcotest.(check int) "width" 96 (Z.numbits p);
+  Alcotest.(check bool) "prime" true (Primality.is_prime ~rand p);
+  Alcotest.check z "structure" p (Z.succ (Z.shift_left (Z.mul k q) 1))
+
+(* ------------------------------------------------------------------ *)
+(* CRT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_crt_paper_example () =
+  (* Appendix B: e = 31 (mod 7^2), 51 (mod 11^2), 68 (mod 13^2) -> 17475. *)
+  let congruences =
+    [ Z.of_int 31, Z.of_int 49; Z.of_int 51, Z.of_int 121; Z.of_int 68, Z.of_int 169 ]
+  in
+  Alcotest.check z "e = 17475" (Z.of_int 17475) (Crt.solve congruences);
+  Alcotest.(check bool) "check" true (Crt.check (Z.of_int 17475) congruences)
+
+let test_crt_errors () =
+  Alcotest.check_raises "non-coprime"
+    (Invalid_argument "Crt.solve: moduli not coprime") (fun () ->
+      ignore (Crt.solve [ Z.one, Z.of_int 6; Z.zero, Z.of_int 4 ]));
+  Alcotest.check_raises "modulus 1"
+    (Invalid_argument "Crt.solve: modulus <= 1") (fun () ->
+      ignore (Crt.solve [ Z.zero, Z.one ]));
+  Alcotest.check z "empty" Z.zero (Crt.solve [])
+
+(* ------------------------------------------------------------------ *)
+(* Jacobi                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_jacobi_known () =
+  (* Known values: (1/1)=1, (2/3)=-1, (2/7)=1, (3/5)=-1, (1001/9907)=-1. *)
+  let j a n = Jacobi.symbol (Z.of_int a) (Z.of_int n) in
+  Alcotest.(check int) "(1/1)" 1 (j 1 1);
+  Alcotest.(check int) "(2/3)" (-1) (j 2 3);
+  Alcotest.(check int) "(2/7)" 1 (j 2 7);
+  Alcotest.(check int) "(3/5)" (-1) (j 3 5);
+  Alcotest.(check int) "(1001/9907)" (-1) (j 1001 9907);
+  Alcotest.(check int) "(0/9)" 0 (j 0 9);
+  Alcotest.(check int) "(12/9)" 0 (j 12 9)
+
+let test_jacobi_vs_legendre () =
+  (* For odd primes p, the Jacobi symbol equals the Legendre symbol. *)
+  let primes = List.filter (fun p -> p > 2) (Sieve.primes_below 200) in
+  List.iter
+    (fun p ->
+      for a = 0 to 30 do
+        Alcotest.(check int)
+          (Printf.sprintf "(%d/%d)" a p)
+          (Jacobi.legendre (Z.of_int a) (Z.of_int p))
+          (Jacobi.symbol (Z.of_int a) (Z.of_int p))
+      done)
+    primes
+
+(* ------------------------------------------------------------------ *)
+(* Discrete logs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Appendix B working example: modulus N = 555229357, h = 474959247 of
+   order 49, h^x = 65281917 with x = 31.  Table V lists the powers of
+   alpha_1 = alpha^(49/7). *)
+let test_appendix_b_dlog () =
+  let n = Z.of_int 555229357 in
+  let ctx = Barrett.create n in
+  let alpha = Z.of_int 474959247 and beta = Z.of_int 65281917 in
+  Alcotest.check zopt "brute" (Some (Z.of_int 31))
+    (Dlog.brute ctx ~base:alpha ~target:beta ~bound:(Z.of_int 49));
+  Alcotest.check zopt "bsgs" (Some (Z.of_int 31))
+    (Dlog.bsgs ctx ~base:alpha ~target:beta ~order:(Z.of_int 49));
+  Alcotest.check zopt "pohlig-hellman" (Some (Z.of_int 31))
+    (Dlog.pohlig_hellman_prime_power ctx ~base:alpha ~target:beta
+       ~p:(Z.of_int 7) ~c:2)
+
+let test_table_v () =
+  (* Table V: all powers of alpha_1 = alpha^7 mod N. *)
+  let n = Z.of_int 555229357 in
+  let ctx = Barrett.create n in
+  let alpha = Z.of_int 474959247 in
+  let alpha1 = Barrett.powm ctx alpha (Z.of_int 7) in
+  Alcotest.check z "alpha1" (Z.of_int 98589017) alpha1;
+  let expected =
+    [ 1, 98589017; 2, 230485133; 3, 466965543; 4, 543238802;
+      5, 127566194; 6, 21649616; 7, 1 ]
+  in
+  List.iter
+    (fun (x, v) ->
+      Alcotest.check z
+        (Printf.sprintf "alpha1^%d" x)
+        (Z.of_int v)
+        (Barrett.powm ctx alpha1 (Z.of_int x)))
+    expected;
+  (* The two digit lookups of the worked example: c0 = 3, c1 = 4, x = 31. *)
+  let beta = Z.of_int 65281917 in
+  let beta0 = Barrett.powm ctx beta (Z.of_int 7) in
+  Alcotest.check z "beta0 = alpha1^3" (Z.of_int 466965543) beta0
+
+let test_dlog_random_small () =
+  (* base = primitive-ish element mod a prime; verify bsgs on random x. *)
+  let p = Z.of_int 1000003 in
+  let ctx = Barrett.create p in
+  let g = Z.of_int 2 in
+  for x = 0 to 20 do
+    let x = x * 41 in
+    let target = Barrett.powm ctx g (Z.of_int x) in
+    match Dlog.bsgs ctx ~base:g ~target ~order:(Z.pred p) with
+    | None -> Alcotest.failf "bsgs failed for x=%d" x
+    | Some x' ->
+      (* g may not be primitive; check g^x' = target instead of x = x'. *)
+      Alcotest.check z "reproduces target" target (Barrett.powm ctx g x')
+  done
+
+let test_dlog_prime_power_big () =
+  (* Build the exact PIR group shape: pi = 3^20, Q0 = 2*q0*pi + 1,
+     Q1 = 2*q1 + 1, N = Q0*Q1, solve dlog in the order-pi subgroup. *)
+  let pi = Z.pow (Z.of_int 3) 20 in
+  let _, q0 = Primegen.semi_safe ~q_bits:24 ~multiple:pi rand in
+  let _, q1 = Primegen.semi_safe ~q_bits:24 ~multiple:Z.one rand in
+  let n = Z.mul q0 q1 in
+  let ctx = Barrett.create n in
+  let phi = Z.mul (Z.pred q0) (Z.pred q1) in
+  (* h = g^(phi/pi) has order dividing pi; retry until order is exactly pi. *)
+  let rec find_h g =
+    let h = Barrett.powm ctx g (Z.div phi pi) in
+    let h3 = Barrett.powm ctx h (Z.div pi (Z.of_int 3)) in
+    if Z.equal h3 Z.one then find_h (Z.succ g) else h
+  in
+  let h = find_h Z.two in
+  let secret = Z.of_string "2259436191676" in
+  let secret = Z.erem secret pi in
+  let target = Barrett.powm ctx h secret in
+  Alcotest.check zopt "recovers secret" (Some secret)
+    (Dlog.pohlig_hellman_prime_power ctx ~base:h ~target ~p:(Z.of_int 3) ~c:20)
+
+let test_dlog_composite_order () =
+  (* Full Pohlig-Hellman with CRT combine: group (Z/pZ)* with smooth p-1. *)
+  let p = Z.of_int 8101 in (* 8101 - 1 = 2^2 * 3^4 * 5^2 *)
+  let ctx = Barrett.create p in
+  let g = Z.of_int 6 in (* 6 is a primitive root mod 8101 *)
+  let factors = [ Z.two, 2; Z.of_int 3, 4; Z.of_int 5, 2 ] in
+  List.iter
+    (fun x ->
+      let target = Barrett.powm ctx g (Z.of_int x) in
+      Alcotest.check zopt (Printf.sprintf "x=%d" x) (Some (Z.of_int x))
+        (Dlog.pohlig_hellman ctx ~base:g ~target ~factors))
+    [ 0; 1; 2; 100; 4097; 8099 ]
+
+let test_dlog_not_in_subgroup () =
+  (* A target outside the subgroup must yield None, not a wrong answer. *)
+  let n = Z.of_int 555229357 in
+  let ctx = Barrett.create n in
+  let alpha = Z.of_int 474959247 in
+  Alcotest.check zopt "outside subgroup" None
+    (Dlog.pohlig_hellman_prime_power ctx ~base:alpha ~target:(Z.of_int 2)
+       ~p:(Z.of_int 7) ~c:2)
+
+(* ------------------------------------------------------------------ *)
+(* Factorisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_factor_appendix_phi () =
+  (* Appendix B prints phi(N) = 554894620 = 2^2 * 5 * 7^2 * 17 * 19 * 1753. *)
+  let fs = Factor.factor ~rand (Z.of_int 554894620) in
+  let expected =
+    [ Z.two, 2; Z.of_int 5, 1; Z.of_int 7, 2; Z.of_int 17, 1;
+      Z.of_int 19, 1; Z.of_int 1753, 1 ]
+  in
+  Alcotest.(check int) "count" (List.length expected) (List.length fs);
+  List.iter2
+    (fun (p, c) (p', c') ->
+      Alcotest.check z "prime" p p';
+      Alcotest.(check int) "exponent" c c')
+    expected fs
+
+let test_factor_structured () =
+  let cases =
+    [ Z.one; Z.of_int 2; Z.of_int 97; Z.of_int 5040;
+      Z.pow (Z.of_int 10007) 3;
+      Z.mul (Primegen.random_prime ~bits:36 rand)
+        (Primegen.random_prime ~bits:36 rand) ]
+  in
+  List.iter
+    (fun n ->
+      let fs = Factor.factor ~rand n in
+      Alcotest.check z (Z.to_string n) n (Factor.recompose fs);
+      List.iter
+        (fun (p, c) ->
+          Alcotest.(check bool) "prime factor" true (Primality.is_prime ~rand p);
+          Alcotest.(check bool) "positive exponent" true (c > 0))
+        fs)
+    cases
+
+let test_factor_enables_dlog () =
+  (* Factor a group order, then solve a dlog with general Pohlig-Hellman:
+     the two modules compose. *)
+  let p = Z.of_int 8101 in
+  let factors = Factor.factor ~rand (Z.pred p) in
+  let ctx = Barrett.create p in
+  let g = Z.of_int 6 in
+  let target = Barrett.powm ctx g (Z.of_int 1234) in
+  Alcotest.check zopt "solved" (Some (Z.of_int 1234))
+    (Dlog.pohlig_hellman ctx ~base:g ~target ~factors)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let props =
+  [ prop "crt roundtrip" 100
+      (QCheck.make
+         QCheck.Gen.(pair (int_range 0 1000000) (int_range 1 1000)))
+      (fun (x, salt) ->
+        (* random pairwise-coprime moduli: distinct primes *)
+        let ps = Sieve.first_primes ~from:(3 + (salt mod 50)) 5 in
+        let congruences =
+          List.map (fun p -> Z.of_int (x mod p), Z.of_int p) ps
+        in
+        let sol = Crt.solve congruences in
+        Crt.check sol congruences);
+    prop "jacobi multiplicative in numerator" 200
+      (QCheck.make
+         QCheck.Gen.(triple (int_range 0 5000) (int_range 0 5000)
+                       (int_range 0 2000)))
+      (fun (a, b, i) ->
+        let n = (2 * i) + 3 in
+        Jacobi.symbol (Z.of_int (a * b)) (Z.of_int n)
+        = Jacobi.symbol (Z.of_int a) (Z.of_int n)
+          * Jacobi.symbol (Z.of_int b) (Z.of_int n));
+    prop "jacobi periodic in numerator" 200
+      (QCheck.make QCheck.Gen.(pair (int_range 0 10000) (int_range 0 2000)))
+      (fun (a, i) ->
+        let n = (2 * i) + 3 in
+        Jacobi.symbol (Z.of_int a) (Z.of_int n)
+        = Jacobi.symbol (Z.of_int (a + n)) (Z.of_int n));
+    prop "bsgs inverts powm" 50
+      (QCheck.make QCheck.Gen.(int_range 0 10000))
+      (fun x ->
+        let p = Z.of_int 100003 in
+        let ctx = Barrett.create p in
+        let g = Z.of_int 5 in
+        let target = Barrett.powm ctx g (Z.of_int x) in
+        match Dlog.bsgs ctx ~base:g ~target ~order:(Z.pred p) with
+        | None -> false
+        | Some x' -> Z.equal target (Barrett.powm ctx g x'));
+    prop "generated primes pass fermat" 10
+      (QCheck.make QCheck.Gen.(int_range 20 80))
+      (fun bits ->
+        let p = Primegen.random_prime ~bits rand in
+        Primality.fermat ~rand p);
+  ]
+
+let () =
+  Alcotest.run "lbq_numth"
+    [ ("sieve", [ Alcotest.test_case "basics" `Quick test_sieve ]);
+      ("primality",
+       [ Alcotest.test_case "vs sieve below 20000" `Quick test_primality_vs_sieve;
+         Alcotest.test_case "carmichael numbers" `Quick test_carmichael;
+         Alcotest.test_case "known big primes" `Quick test_known_big_primes;
+         Alcotest.test_case "primegen widths" `Quick test_primegen;
+         Alcotest.test_case "semi-safe primes" `Quick test_semi_safe;
+         Alcotest.test_case "schnorr modulus" `Quick test_schnorr_modulus ]);
+      ("crt",
+       [ Alcotest.test_case "paper example (App. B)" `Quick test_crt_paper_example;
+         Alcotest.test_case "errors" `Quick test_crt_errors ]);
+      ("jacobi",
+       [ Alcotest.test_case "known values" `Quick test_jacobi_known;
+         Alcotest.test_case "vs legendre" `Quick test_jacobi_vs_legendre ]);
+      ("dlog",
+       [ Alcotest.test_case "appendix B example" `Quick test_appendix_b_dlog;
+         Alcotest.test_case "table V" `Quick test_table_v;
+         Alcotest.test_case "random small" `Quick test_dlog_random_small;
+         Alcotest.test_case "prime power big" `Quick test_dlog_prime_power_big;
+         Alcotest.test_case "composite order" `Quick test_dlog_composite_order;
+         Alcotest.test_case "not in subgroup" `Quick test_dlog_not_in_subgroup ]);
+      ("factor",
+       [ Alcotest.test_case "appendix phi" `Quick test_factor_appendix_phi;
+         Alcotest.test_case "structured" `Quick test_factor_structured;
+         Alcotest.test_case "composes with dlog" `Quick test_factor_enables_dlog ]);
+      ("properties", props) ]

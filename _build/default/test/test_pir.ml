@@ -1,0 +1,323 @@
+(* Tests for lbq_pir (Gentry-Ramzan) and lbq_qrpir (Kushilevitz-Ostrovsky):
+   the Appendix B worked example digit-by-digit, PIR correctness
+   (Theorem 2), plan structure, tampering detection, and the QR baseline. *)
+
+open Lbq_bignum
+open Lbq_numth
+open Lbq_crypto
+module Gr = Lbq_pir.Gr
+module Qr_pir = Lbq_qrpir.Qr_pir
+module Counters = Lbq_metrics.Counters
+
+let z = Alcotest.testable Z.pp Z.equal
+
+let drbg = Drbg.create ~seed:"test-pir" ()
+let rand = Drbg.rand drbg
+
+(* ------------------------------------------------------------------ *)
+(* Appendix B worked example                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Database {31 mod 7^2, 51 mod 11^2, 68 mod 13^2} -> e = 17475.
+   Query: pi = 7^2, q0 = 17, q1 = 19, d = 8765, Q0 = 2*q0*pi + 1 = 1667,
+   Q1 = 2*d*q1 + 1 = 333071, N = 555229357, phi = 554894620, g = 3,
+   |g| = 138723655, q = |g|/pi = 2831095, ge = g^e = 127319266,
+   he = ge^q = 65281917, h = g^q = 474959247, log_h(he) = 31. *)
+let test_appendix_b () =
+  let e =
+    Crt.solve
+      [ Z.of_int 31, Z.of_int 49;
+        Z.of_int 51, Z.of_int 121;
+        Z.of_int 68, Z.of_int 169 ]
+  in
+  Alcotest.check z "e" (Z.of_int 17475) e;
+  let q0 = 17 and q1 = 19 and d = 8765 and pi = 49 in
+  let qq0 = Z.of_int ((2 * q0 * pi) + 1) in
+  let qq1 = Z.of_int ((2 * d * q1) + 1) in
+  Alcotest.check z "Q0" (Z.of_int 1667) qq0;
+  Alcotest.check z "Q1" (Z.of_int 333071) qq1;
+  Alcotest.(check bool) "Q0 prime" true (Primality.is_prime qq0);
+  Alcotest.(check bool) "Q1 prime" true (Primality.is_prime qq1);
+  let n = Z.mul qq0 qq1 in
+  Alcotest.check z "N" (Z.of_int 555229357) n;
+  let phi = Z.mul (Z.pred qq0) (Z.pred qq1) in
+  Alcotest.check z "phi" (Z.of_int 554894620) phi;
+  Alcotest.check z "pi | phi" Z.zero (Z.erem phi (Z.of_int pi));
+  let ctx = Barrett.create n in
+  let g = Z.of_int 3 in
+  (* |g| = 138723655 as stated; q = |g| / pi. *)
+  let order_g = Z.of_int 138723655 in
+  Alcotest.check z "g^|g| = 1" Z.one (Barrett.powm ctx g order_g);
+  let q = Z.div order_g (Z.of_int pi) in
+  Alcotest.check z "q" (Z.of_int 2831095) q;
+  let ge = Barrett.powm ctx g e in
+  Alcotest.check z "ge" (Z.of_int 127319266) ge;
+  let he = Barrett.powm ctx ge q in
+  Alcotest.check z "he" (Z.of_int 65281917) he;
+  let h = Barrett.powm ctx g q in
+  Alcotest.check z "h" (Z.of_int 474959247) h;
+  (* Brute force (as narrated), then Pohlig-Hellman: both find 31. *)
+  Alcotest.(check (option (Alcotest.testable Z.pp Z.equal))) "brute"
+    (Some (Z.of_int 31))
+    (Dlog.brute ctx ~base:h ~target:he ~bound:(Z.of_int pi));
+  Alcotest.(check (option (Alcotest.testable Z.pp Z.equal))) "pohlig-hellman"
+    (Some (Z.of_int 31))
+    (Dlog.pohlig_hellman_prime_power ctx ~base:h ~target:he ~p:(Z.of_int 7) ~c:2)
+
+(* ------------------------------------------------------------------ *)
+(* Plan                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_structure () =
+  let plan = Gr.make_plan ~count:10 ~block_bits:64 () in
+  Alcotest.(check int) "size" 10 (Gr.plan_size plan);
+  let s0 = Gr.plan_slot plan 0 in
+  Alcotest.check z "first prime is 3" (Z.of_int 3) s0.Gr.p;
+  (* Each slot has capacity >= 2^64 and is the least such power. *)
+  for i = 0 to 9 do
+    let s = Gr.plan_slot plan i in
+    Alcotest.(check bool) "capacity" true (Z.numbits s.Gr.pi > 64);
+    Alcotest.(check bool) "least power" true
+      (Z.numbits (Z.div s.Gr.pi s.Gr.p) <= 64);
+    Alcotest.check z "pi = p^c" s.Gr.pi (Z.pow s.Gr.p s.Gr.c)
+  done
+
+let test_plan_paper_exponents () =
+  (* §VI-B: 1024-bit blocks give 3^647, 5^442, ... *)
+  let plan = Gr.make_plan ~count:3 ~block_bits:1024 () in
+  let s0 = Gr.plan_slot plan 0 and s1 = Gr.plan_slot plan 1 in
+  Alcotest.(check int) "3^647" 647 s0.Gr.c;
+  Alcotest.(check int) "5^442" 442 s1.Gr.c
+
+let test_plan_errors () =
+  Alcotest.check_raises "count" (Invalid_argument "Gr.make_plan: count <= 0")
+    (fun () -> ignore (Gr.make_plan ~count:0 ~block_bits:8 ()));
+  let plan = Gr.make_plan ~count:2 ~block_bits:8 () in
+  Alcotest.check_raises "slot range"
+    (Invalid_argument "Gr.plan_slot: index out of range") (fun () ->
+      ignore (Gr.plan_slot plan 2))
+
+(* ------------------------------------------------------------------ *)
+(* Gentry-Ramzan end-to-end                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_gr_roundtrip () =
+  let count = 8 and block_bits = 48 in
+  let plan = Gr.make_plan ~count ~block_bits () in
+  let records =
+    Array.init count (fun i -> Z.of_int ((i * 1234567) + 89))
+  in
+  let server = Gr.Server.create plan records in
+  for index = 0 to count - 1 do
+    let v = Gr.fetch ~server ~index ~q_bits:24 rand in
+    Alcotest.check z (Printf.sprintf "record %d" index) records.(index) v
+  done
+
+let test_gr_large_records () =
+  (* Records close to capacity. *)
+  let plan = Gr.make_plan ~count:4 ~block_bits:64 () in
+  let records =
+    Array.init 4 (fun i -> Z.pred (Gr.plan_slot plan i).Gr.pi)
+  in
+  let server = Gr.Server.create plan records in
+  let v = Gr.fetch ~server ~index:2 ~q_bits:24 rand in
+  Alcotest.check z "max record" records.(2) v
+
+let test_gr_capacity_check () =
+  let plan = Gr.make_plan ~count:2 ~block_bits:8 () in
+  let too_big = (Gr.plan_slot plan 0).Gr.pi in
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Gr.Server.create: record exceeds its prime-power capacity")
+    (fun () -> ignore (Gr.Server.create plan [| too_big; Z.one |]));
+  Alcotest.check_raises "count mismatch"
+    (Invalid_argument "Gr.Server.create: record count does not match plan")
+    (fun () -> ignore (Gr.Server.create plan [| Z.one |]))
+
+let test_gr_e_satisfies_congruences () =
+  let plan = Gr.make_plan ~count:5 ~block_bits:16 () in
+  let records = Array.init 5 (fun i -> Z.of_int (i * 1000)) in
+  let server = Gr.Server.create plan records in
+  Array.iteri
+    (fun i r ->
+      Alcotest.check z
+        (Printf.sprintf "e mod pi_%d" i)
+        r
+        (Z.erem (Gr.Server.e server) (Gr.plan_slot plan i).Gr.pi))
+    records
+
+let test_gr_tamper_detection () =
+  let plan = Gr.make_plan ~count:3 ~block_bits:16 () in
+  let server = Gr.Server.create plan [| Z.of_int 7; Z.of_int 8; Z.of_int 9 |] in
+  let st, (n, g) = Gr.Client.query ~plan ~index:1 ~q_bits:24 rand in
+  let ge = Gr.Server.respond server ~n ~g in
+  (* Tamper: multiply the answer by a random element outside the subgroup
+     image; decode must fail loudly, not return a wrong record. *)
+  let tampered = Z.erem (Z.mul ge (Z.of_int 12345678)) n in
+  (match Gr.Client.decode st tampered with
+   | exception Invalid_argument _ -> ()
+   | v ->
+     (* Extremely unlikely alternative: tampering may still land in the
+        subgroup; then the decoded value must differ from the record. *)
+     if Z.equal v (Z.of_int 8) then
+       Alcotest.fail "tampered response decoded to the true record")
+
+let test_gr_metrics () =
+  let metrics = Counters.create () in
+  let plan = Gr.make_plan ~count:4 ~block_bits:32 () in
+  let records = Array.init 4 (fun i -> Z.of_int i) in
+  let server = Gr.Server.create ~metrics plan records in
+  let st, (n, g) = Gr.Client.query ~metrics ~plan ~index:0 ~q_bits:24 rand in
+  let ge = Gr.Server.respond server ~n ~g in
+  let _ = Gr.Client.decode st ge in
+  (* Server: ~|e| mults (windowed exponentiation adds a fraction). *)
+  let ebits = Gr.Server.e_bits server in
+  Alcotest.(check bool) "server mults >= |e|" true
+    (metrics.Counters.server_mult >= ebits);
+  Alcotest.(check bool) "server mults <= 1.5|e| + 32" true
+    (metrics.Counters.server_mult <= (3 * ebits / 2) + 32);
+  (* Communication: 2 elements up (N, g), 1 element down. *)
+  let el = (Z.numbits n + 7) / 8 in
+  Alcotest.(check int) "user bytes" (2 * el) metrics.Counters.user_bytes;
+  Alcotest.(check int) "server bytes" el metrics.Counters.server_bytes;
+  Alcotest.(check bool) "user mults > 2 exponentiations' worth" true
+    (metrics.Counters.user_mult > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Input validation (hardening)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_gr_rejects_bad_queries () =
+  let plan = Gr.make_plan ~count:4 ~block_bits:32 () in
+  let records = Array.init 4 (fun i -> Z.of_int (i + 1)) in
+  let server = Gr.Server.create plan records in
+  let bound = Gr.Server.max_modulus_bits server ~q_bits:24 in
+  (* A legitimate query fits the bound. *)
+  let _, (n, g) = Gr.Client.query ~plan ~index:1 ~q_bits:24 rand in
+  Alcotest.(check bool) "legit under bound" true (Z.numbits n <= bound);
+  let _ = Gr.Server.respond ~max_n_bits:bound server ~n ~g in
+  (* An oversized modulus is refused before any work. *)
+  let huge = Z.shift_left Z.one (bound + 64) in
+  Alcotest.check_raises "oversized modulus"
+    (Invalid_argument "Gr.Server.respond: modulus exceeds the deployment bound")
+    (fun () ->
+      ignore (Gr.Server.respond ~max_n_bits:bound server ~n:(Z.succ huge) ~g));
+  (* Degenerate generators are refused. *)
+  Alcotest.check_raises "g = 1"
+    (Invalid_argument "Gr.Server.respond: generator out of range")
+    (fun () -> ignore (Gr.Server.respond server ~n ~g:Z.one));
+  Alcotest.check_raises "g >= N"
+    (Invalid_argument "Gr.Server.respond: generator out of range")
+    (fun () -> ignore (Gr.Server.respond server ~n ~g:n))
+
+(* ------------------------------------------------------------------ *)
+(* QR PIR baseline                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let qr_sk = Qr_pir.keygen ~bits:128 rand
+let qr_pk = Qr_pir.public_of_private qr_sk
+
+let test_qr_residue_machinery () =
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "square is QR" true
+      (Qr_pir.is_qr qr_sk (Qr_pir.random_qr qr_pk rand));
+    Alcotest.(check bool) "pseudo-square is not QR" false
+      (Qr_pir.is_qr qr_sk (Qr_pir.random_pseudo_square qr_sk rand))
+  done
+
+let qr_blocks rows cols len =
+  Array.init rows (fun r ->
+      Array.init cols (fun c ->
+          String.init len (fun k -> Char.chr ((r * 37 + c * 11 + k * 3) land 0xff))))
+
+let test_qr_pir_roundtrip () =
+  let rows = 3 and cols = 4 in
+  let blocks = qr_blocks rows cols 4 in
+  let server = Qr_pir.Server.create blocks in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Alcotest.(check string)
+        (Printf.sprintf "(%d,%d)" r c)
+        blocks.(r).(c)
+        (Qr_pir.fetch ~server ~sk:qr_sk ~row:r ~col:c rand)
+    done
+  done
+
+let test_qr_pir_errors () =
+  Alcotest.check_raises "query col"
+    (Invalid_argument "Qr_pir.Client.query: column out of range") (fun () ->
+      ignore (Qr_pir.Client.query ~sk:qr_sk ~cols:3 ~target_col:3 rand));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Qr_pir.Server.create: ragged matrix") (fun () ->
+      ignore
+        (Qr_pir.Server.create [| [| "ab" |]; [| "ab"; "cd" |] |]))
+
+let test_qr_pir_metrics () =
+  let metrics = Counters.create () in
+  let rows = 3 and cols = 4 and len = 2 in
+  let blocks = qr_blocks rows cols len in
+  let server = Qr_pir.Server.create ~metrics blocks in
+  let st, q =
+    Qr_pir.Client.query ~metrics ~sk:qr_sk ~cols ~target_col:1 rand
+  in
+  let planes = Qr_pir.Server.respond server ~n:(Qr_pir.modulus qr_pk) q in
+  let _ = Qr_pir.Client.decode_block st planes ~target_row:2 in
+  let el = (Z.numbits (Qr_pir.modulus qr_pk) + 7) / 8 in
+  Alcotest.(check int) "query bytes = b*L" (cols * el) metrics.Counters.user_bytes;
+  Alcotest.(check int) "answer bytes = a*s*L" (rows * 8 * len * el)
+    metrics.Counters.server_bytes;
+  (* Server mults: >= a*b per plane (squarings make it higher). *)
+  Alcotest.(check bool) "server mults >= a*b*s" true
+    (metrics.Counters.server_mult >= rows * cols * 8 * len)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let props =
+  [ prop "theorem 2: gr fetch returns C_i" 8
+      (QCheck.make QCheck.Gen.(triple (int_range 2 6) (int_range 0 5) nat))
+      (fun (count, idx, seed) ->
+        let index = idx mod count in
+        let plan = Gr.make_plan ~count ~block_bits:24 () in
+        let records =
+          Array.init count (fun i ->
+              Z.of_int ((seed + (i * 9176)) mod (1 lsl 24)))
+        in
+        let server = Gr.Server.create plan records in
+        Z.equal records.(index) (Gr.fetch ~server ~index ~q_bits:20 rand));
+    prop "qr pir single bits" 10
+      (QCheck.make QCheck.Gen.(pair (int_range 0 2) (int_range 0 3)))
+      (fun (r, c) ->
+        let blocks = qr_blocks 3 4 1 in
+        let server = Qr_pir.Server.create blocks in
+        String.equal blocks.(r).(c)
+          (Qr_pir.fetch ~server ~sk:qr_sk ~row:r ~col:c rand));
+  ]
+
+let () =
+  Alcotest.run "lbq_pir"
+    [ ("appendix-b", [ Alcotest.test_case "worked example" `Quick test_appendix_b ]);
+      ("plan",
+       [ Alcotest.test_case "structure" `Quick test_plan_structure;
+         Alcotest.test_case "paper exponents" `Quick test_plan_paper_exponents;
+         Alcotest.test_case "errors" `Quick test_plan_errors ]);
+      ("gentry-ramzan",
+       [ Alcotest.test_case "roundtrip" `Quick test_gr_roundtrip;
+         Alcotest.test_case "large records" `Quick test_gr_large_records;
+         Alcotest.test_case "capacity check" `Quick test_gr_capacity_check;
+         Alcotest.test_case "e satisfies congruences" `Quick
+           test_gr_e_satisfies_congruences;
+         Alcotest.test_case "tamper detection" `Quick test_gr_tamper_detection;
+         Alcotest.test_case "metrics" `Quick test_gr_metrics ]);
+      ("hardening",
+       [ Alcotest.test_case "gr rejects bad queries" `Quick
+           test_gr_rejects_bad_queries ]);
+      ("qr-pir",
+       [ Alcotest.test_case "residue machinery" `Quick test_qr_residue_machinery;
+         Alcotest.test_case "roundtrip" `Quick test_qr_pir_roundtrip;
+         Alcotest.test_case "errors" `Quick test_qr_pir_errors;
+         Alcotest.test_case "metrics" `Quick test_qr_pir_metrics ]);
+      ("properties", props) ]
