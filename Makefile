@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The tier-1 gate plus a one-trial fault-injection smoke run: builds
+# everything, runs the full test suite, and drives one retried round per
+# link profile and fault rate through the Chaos fault model.
+check:
+	dune build @all
+	dune runtest
+	dune exec bench/main.exe -- faults 1
+
+bench:
+	dune exec bench/main.exe -- all
+
+clean:
+	dune clean

@@ -29,7 +29,7 @@ let () =
   let position = Coord.make ~x:2100. ~y:900. in
 
   (* Bootstrap once over WiFi (the table download is the big transfer). *)
-  let relay = Relay.create ~link:Link.wifi in
+  let relay = Relay.create ~link:Link.wifi () in
   let info, boot_bytes = Session.bootstrap relay server in
   Format.printf "Bootstrap download: %d B (params + masked table).@.@."
     boot_bytes;
@@ -39,7 +39,7 @@ let () =
   Format.printf "  %s@." (String.make 75 '-');
   List.iter
     (fun link ->
-      let relay = Relay.create ~link in
+      let relay = Relay.create ~link () in
       let client = Client.create ~seed:"mobile-user" info in
       let result, stats = Session.run_round relay client server ~position in
       assert (result.Protocol.pois <> []);
@@ -52,7 +52,7 @@ let () =
     Link.profiles;
 
   (* What did the SP see? *)
-  let relay = Relay.create ~link:Link.hsdpa_3g in
+  let relay = Relay.create ~link:Link.hsdpa_3g () in
   let client = Client.create ~seed:"mobile-user" info in
   let _ = Session.run_round relay client server ~position in
   Format.printf "@.The SP's complete view of that round:@.";

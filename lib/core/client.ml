@@ -33,6 +33,8 @@ let create ?(metrics = Counters.null) ?(seed = "lbq-user")
   { params = public.Server.params; public; rand = Drbg.rand drbg; metrics;
     pir_cache = Hashtbl.create 8 }
 
+let metrics t = t.metrics
+
 (* The credential stage 1 yields: which private cell, and its key. *)
 type credential = { idq : int; cell_key : string }
 

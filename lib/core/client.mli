@@ -14,6 +14,9 @@ type t
 val create :
   ?metrics:Counters.t -> ?seed:string -> Server.public_info -> t
 
+(** The counters this client increments (retries land here too). *)
+val metrics : t -> Counters.t
+
 (** Stage-1 result: the private-cell id and its decryption key. *)
 type credential
 

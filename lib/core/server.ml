@@ -104,16 +104,95 @@ let params t = t.params
 let partition t = t.partition
 let metrics t = t.metrics
 
+(* ------------------------------------------------------------------ *)
+(* Request validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A production server facing the open network (ROADMAP: heavy traffic
+   from millions of users) cannot afford to die — or to burn a modular
+   exponentiation at attacker-chosen width — on a hostile query.  Every
+   inbound request is validated against the deployment parameters before
+   any cryptographic work; failures are *data* (a typed rejection, with
+   the [rejects] counter bumped), not exceptions. *)
+
+type rejection =
+  | Ot_query_malformed of string
+  | Pir_query_malformed of string
+  | Pir_modulus_oversized of { bits : int; limit : int }
+  | Pir_modulus_undersized of { bits : int; floor : int }
+  | Pir_base_degenerate of string
+
+let rejection_message = function
+  | Ot_query_malformed m -> "ot query malformed: " ^ m
+  | Pir_query_malformed m -> "pir query malformed: " ^ m
+  | Pir_modulus_oversized { bits; limit } ->
+    Printf.sprintf "pir modulus too wide: %d bits exceeds the %d-bit bound"
+      bits limit
+  | Pir_modulus_undersized { bits; floor } ->
+    Printf.sprintf "pir modulus too narrow: %d bits, need at least %d" bits
+      floor
+  | Pir_base_degenerate m -> "pir base degenerate: " ^ m
+
+let reject t (r : rejection) : ('a, rejection) result =
+  Counters.rejects t.metrics 1;
+  Error r
+
+let rejects t = t.metrics.Counters.rejects
+
+(* Widest modulus a legitimate query can need (resource-exhaustion
+   guard): delegate to the PIR plan. *)
+let pir_max_modulus_bits t =
+  Gr.Server.max_modulus_bits t.pir ~q_bits:t.params.Params.q_bits
+
+(* Narrowest: a legitimate N = Q0 Q1 with Q0 = 2 q0 pi + 1, Q1 = 2 q1 + 1
+   has |N| >= min|pi| + 2 q_bits - 1; keep a few bits of slack so no
+   honest query is ever refused. *)
+let pir_min_modulus_bits t =
+  let plan = t.public.plan in
+  let min_pi = ref max_int in
+  for i = 0 to Gr.plan_size plan - 1 do
+    min_pi := min !min_pi (Z.numbits (Gr.plan_slot plan i).Gr.pi)
+  done;
+  !min_pi + (2 * t.params.Params.q_bits) - 8
+
 (* Stage-1 message handler. *)
 let ot_respond t (q : Ot.query) : Ot.response = Ot.Server.respond t.ot q
+
+(* Validated stage-1 handler: every ciphertext component must be a
+   plausible field element — in (1, p).  Zero would collapse the
+   ElGamal blinding; 1 and p-1 are the degenerate subgroup. *)
+let ot_respond_checked t (q : Ot.query) : (Ot.response, rejection) result =
+  let p = Lbq_group.Schnorr.p t.params.Params.group in
+  let in_range x = Z.gt x Z.one && Z.lt x p in
+  let components =
+    [ q.Ot.c1.Lbq_group.Elgamal.a; q.Ot.c1.Lbq_group.Elgamal.b;
+      q.Ot.c2.Lbq_group.Elgamal.a; q.Ot.c2.Lbq_group.Elgamal.b ]
+  in
+  if List.for_all in_range components then Ok (Ot.Server.respond t.ot q)
+  else reject t (Ot_query_malformed "ciphertext element outside (1, p)")
 
 (* Stage-2 message handler, with the deployment-wide modulus bound as a
    resource-exhaustion guard (the g^e cost scales with the query width). *)
 let pir_respond t ~(n : Z.t) ~(g : Z.t) : Z.t =
-  let max_n_bits =
-    Gr.Server.max_modulus_bits t.pir ~q_bits:t.params.Params.q_bits
-  in
-  Gr.Server.respond ~max_n_bits t.pir ~n ~g
+  Gr.Server.respond ~max_n_bits:(pir_max_modulus_bits t) t.pir ~n ~g
+
+(* Validated stage-2 handler: bound-check |N| both ways, insist N is odd
+   (a product of two odd primes always is), and refuse the degenerate
+   bases 0, 1 and N-1 (orders 0, 1 and 2 — each would make the answer
+   g^e mod N independent of nearly all of e). *)
+let pir_respond_checked t ~(n : Z.t) ~(g : Z.t) : (Z.t, rejection) result =
+  let bits = Z.numbits n in
+  let limit = pir_max_modulus_bits t in
+  let floor = pir_min_modulus_bits t in
+  if bits > limit then reject t (Pir_modulus_oversized { bits; limit })
+  else if bits < floor then reject t (Pir_modulus_undersized { bits; floor })
+  else if Z.is_even n then
+    reject t (Pir_query_malformed "modulus is even")
+  else if Z.leq g Z.one then
+    reject t (Pir_base_degenerate "g <= 1")
+  else if Z.geq g (Z.pred n) then
+    reject t (Pir_base_degenerate "g >= N - 1")
+  else Ok (Gr.Server.respond t.pir ~n ~g)
 
 (* The CRT database integer (diagnostics; |e| drives the stage-2 cost). *)
 let pir_e_bits t = Gr.Server.e_bits t.pir

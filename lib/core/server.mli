@@ -36,11 +36,48 @@ val params : t -> Params.t
 val partition : t -> Grid.partition
 val metrics : t -> Counters.t
 
+(** {2 Request validation}
+
+    Typed rejections for hostile or malformed queries.  The checked
+    handlers validate every inbound request against the deployment
+    parameters before any cryptographic work; a failure increments the
+    server's [Counters.rejects] and comes back as data, never an
+    exception. *)
+
+type rejection =
+  | Ot_query_malformed of string
+  | Pir_query_malformed of string
+  | Pir_modulus_oversized of { bits : int; limit : int }
+  | Pir_modulus_undersized of { bits : int; floor : int }
+  | Pir_base_degenerate of string
+
+val rejection_message : rejection -> string
+
+(** Record a rejection decided outside the server (e.g. a wire-decode
+    failure in the transport layer): bumps the [rejects] counter. *)
+val reject : t -> rejection -> ('a, rejection) result
+
+(** Rejections recorded so far (the server metrics' [rejects] field). *)
+val rejects : t -> int
+
+(** Widest / narrowest modulus a legitimate stage-2 query can use. *)
+val pir_max_modulus_bits : t -> int
+
+val pir_min_modulus_bits : t -> int
+
 (** Stage-1 handler (Algorithm 2, server side). *)
 val ot_respond : t -> Ot.query -> Ot.response
 
+(** Validated stage-1 handler: rejects ciphertext components outside
+    (1, p). *)
+val ot_respond_checked : t -> Ot.query -> (Ot.response, rejection) result
+
 (** Stage-2 handler (Algorithm 3, server side): [g^e mod N]. *)
 val pir_respond : t -> n:Z.t -> g:Z.t -> Z.t
+
+(** Validated stage-2 handler: bound-checks |N| both ways, requires N
+    odd, and refuses the degenerate bases g ∈ {0, 1, N−1}. *)
+val pir_respond_checked : t -> n:Z.t -> g:Z.t -> (Z.t, rejection) result
 
 (** Width of the CRT database integer (drives stage-2 server cost). *)
 val pir_e_bits : t -> int

@@ -84,11 +84,20 @@ let pir_query_encode ((n, g) : Z.t * Z.t) : string =
   let nb = Z.to_bytes_be n and gb = Z.to_bytes_be g in
   String.concat "" [ u32 (String.length nb); nb; u32 (String.length gb); gb ]
 
+(* Hard cap on a serialized PIR integer: far above any deployment's
+   modulus, low enough that a hostile length field cannot make the
+   server allocate or exponentiate at megabyte widths. *)
+let max_pir_int_len = 1 lsl 20
+
 let pir_query_decode (s : string) : Z.t * Z.t =
   let nlen = read_u32 s 0 in
+  if nlen = 0 || nlen > max_pir_int_len then
+    raise (Malformed "pir query N length");
   if 4 + nlen + 4 > String.length s then raise (Malformed "pir query N");
   let nb = String.sub s 4 nlen in
   let glen = read_u32 s (4 + nlen) in
+  if glen = 0 || glen > max_pir_int_len then
+    raise (Malformed "pir query g length");
   if 8 + nlen + glen <> String.length s then raise (Malformed "pir query length");
   let gb = String.sub s (8 + nlen) glen in
   Z.of_bytes_be nb, Z.of_bytes_be gb

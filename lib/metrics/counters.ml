@@ -14,16 +14,20 @@ type t = {
   mutable server_mult : int;   (* ... by the server *)
   mutable user_bytes : int;    (* bytes sent by the user *)
   mutable server_bytes : int;  (* bytes sent by the server *)
+  mutable retries : int;       (* exchange attempts repeated after a fault *)
+  mutable drops : int;         (* frames lost or mangled in transit *)
+  mutable rejects : int;       (* requests refused by server validation *)
 }
 
 let create () =
   { user_exp = 0; server_exp = 0; user_mult = 0; server_mult = 0;
-    user_bytes = 0; server_bytes = 0 }
+    user_bytes = 0; server_bytes = 0; retries = 0; drops = 0; rejects = 0 }
 
 let reset t =
   t.user_exp <- 0; t.server_exp <- 0;
   t.user_mult <- 0; t.server_mult <- 0;
-  t.user_bytes <- 0; t.server_bytes <- 0
+  t.user_bytes <- 0; t.server_bytes <- 0;
+  t.retries <- 0; t.drops <- 0; t.rejects <- 0
 
 let copy t = { t with user_exp = t.user_exp }
 
@@ -33,12 +37,16 @@ let user_mult t n = t.user_mult <- t.user_mult + n
 let server_mult t n = t.server_mult <- t.server_mult + n
 let user_bytes t n = t.user_bytes <- t.user_bytes + n
 let server_bytes t n = t.server_bytes <- t.server_bytes + n
+let retries t n = t.retries <- t.retries + n
+let drops t n = t.drops <- t.drops + n
+let rejects t n = t.rejects <- t.rejects + n
 
 let pp fmt t =
   Format.fprintf fmt
-    "@[user: %d exp, %d mult, %d B sent; server: %d exp, %d mult, %d B sent@]"
+    "@[user: %d exp, %d mult, %d B sent; server: %d exp, %d mult, %d B sent; \
+     transport: %d retries, %d drops, %d rejects@]"
     t.user_exp t.user_mult t.user_bytes t.server_exp t.server_mult
-    t.server_bytes
+    t.server_bytes t.retries t.drops t.rejects
 
 (* A shared do-nothing sink for callers that don't measure. *)
 let null = create ()

@@ -10,6 +10,9 @@ type t = {
   mutable server_mult : int;
   mutable user_bytes : int;
   mutable server_bytes : int;
+  mutable retries : int;
+  mutable drops : int;
+  mutable rejects : int;
 }
 
 val create : unit -> t
@@ -22,6 +25,14 @@ val user_mult : t -> int -> unit
 val server_mult : t -> int -> unit
 val user_bytes : t -> int -> unit
 val server_bytes : t -> int -> unit
+
+(** Transport-resilience counters: exchange attempts repeated after a
+    fault, frames lost/mangled in transit, and requests refused by
+    server-side validation. *)
+val retries : t -> int -> unit
+
+val drops : t -> int -> unit
+val rejects : t -> int -> unit
 
 val pp : Format.formatter -> t -> unit
 

@@ -11,6 +11,23 @@ module Crc32 = Lbq_crypto.Crc32
 
 exception Bad_frame of string
 
+(* Typed decode failures: every way raw bytes can fail to be a frame.
+   [decode_result] returns these; [decode] wraps them in {!Bad_frame} for
+   callers that prefer the exception. *)
+type error =
+  | Truncated                  (* shorter than header + trailer *)
+  | Bad_magic
+  | Bad_kind of int            (* out-of-range frame type byte *)
+  | Bad_length                 (* length field disagrees with the bytes *)
+  | Crc_mismatch
+
+let error_message = function
+  | Truncated -> "truncated frame"
+  | Bad_magic -> "bad magic"
+  | Bad_kind n -> Printf.sprintf "unknown frame type %d" n
+  | Bad_length -> "bad length"
+  | Crc_mismatch -> "crc mismatch"
+
 type kind =
   | Bootstrap_request
   | Bootstrap
@@ -30,14 +47,14 @@ let kind_to_byte = function
   | Error_report -> 6
 
 let kind_of_byte = function
-  | 0 -> Bootstrap_request
-  | 1 -> Bootstrap
-  | 2 -> Ot_query
-  | 3 -> Ot_response
-  | 4 -> Pir_query
-  | 5 -> Pir_response
-  | 6 -> Error_report
-  | n -> raise (Bad_frame (Printf.sprintf "unknown frame type %d" n))
+  | 0 -> Some Bootstrap_request
+  | 1 -> Some Bootstrap
+  | 2 -> Some Ot_query
+  | 3 -> Some Ot_response
+  | 4 -> Some Pir_query
+  | 5 -> Some Pir_response
+  | 6 -> Some Error_report
+  | _ -> None
 
 let kind_name = function
   | Bootstrap_request -> "bootstrap-request"
@@ -76,16 +93,25 @@ let encode (f : t) : string =
 
 let encoded_len (f : t) : int = overhead + String.length f.payload
 
+let decode_result (s : string) : (t, error) result =
+  if String.length s < overhead then Error Truncated
+  else if not (String.equal (String.sub s 0 2) magic) then Error Bad_magic
+  else
+    match kind_of_byte (Char.code s.[2]) with
+    | None -> Error (Bad_kind (Char.code s.[2]))
+    | Some kind ->
+      let len = read_u32 s 3 in
+      if len < 0 || String.length s <> overhead + len then Error Bad_length
+      else begin
+        (* body = type (1) + length (4) + payload, exactly what encode
+           CRCs. *)
+        let body = String.sub s 2 (5 + len) in
+        let crc = read_u32 s (header_len + len) in
+        if crc <> Crc32.digest body then Error Crc_mismatch
+        else Ok { kind; payload = String.sub s header_len len }
+      end
+
 let decode (s : string) : t =
-  if String.length s < overhead then raise (Bad_frame "truncated frame");
-  if not (String.equal (String.sub s 0 2) magic) then
-    raise (Bad_frame "bad magic");
-  let kind = kind_of_byte (Char.code s.[2]) in
-  let len = read_u32 s 3 in
-  if len < 0 || String.length s <> overhead + len then
-    raise (Bad_frame "bad length");
-  (* body = type (1) + length (4) + payload, exactly what encode CRCs. *)
-  let body = String.sub s 2 (5 + len) in
-  let crc = read_u32 s (header_len + len) in
-  if crc <> Crc32.digest body then raise (Bad_frame "crc mismatch");
-  { kind; payload = String.sub s header_len len }
+  match decode_result s with
+  | Ok f -> f
+  | Error e -> raise (Bad_frame (error_message e))

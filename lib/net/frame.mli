@@ -3,6 +3,16 @@
 
 exception Bad_frame of string
 
+(** Typed decode failures — every way raw bytes can fail to parse. *)
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_kind of int
+  | Bad_length
+  | Crc_mismatch
+
+val error_message : error -> string
+
 type kind =
   | Bootstrap_request
   | Bootstrap
@@ -25,6 +35,9 @@ val encode : t -> string
 
 (** Raises {!Bad_frame} on bad magic, type, length, or CRC. *)
 val decode : string -> t
+
+(** Total variant of {!decode}: never raises. *)
+val decode_result : string -> (t, error) result
 
 val encoded_len : t -> int
 

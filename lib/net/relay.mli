@@ -2,7 +2,12 @@
     forwards frames, accumulates virtual transfer time, and records
     exactly what an honest-but-curious SP observes — frame kinds and
     sizes, never locations.  The test suite asserts that this view is
-    identical for users in different cells. *)
+    identical for users in different cells.
+
+    A relay optionally carries a {!Chaos} fault model; lost or mangled
+    frames are mirrored into the [Counters.drops] metric. *)
+
+module Counters = Lbq_metrics.Counters
 
 type direction = Uplink | Downlink
 
@@ -14,21 +19,34 @@ type observation = {
 
 type t
 
-val create : link:Link.t -> t
+val create : ?chaos:Chaos.t -> ?metrics:Counters.t -> link:Link.t -> unit -> t
 val link : t -> Link.t
+val chaos : t -> Chaos.t option
 
-(** Forward encoded bytes, simulating transfer time; returns what the far
-    side receives (possibly corrupted under fault injection). *)
+(** Forward encoded bytes, simulating transfer time; [None] when the
+    fault model drops the frame or delivers it outside the lockstep
+    receive window.  Corrupted/truncated frames come back mangled — the
+    receiver's CRC is what catches them. *)
+val forward_opt : t -> direction:direction -> string -> string option
+
+(** Raised by {!forward} when the fault model swallows a frame. *)
+exception Dropped
+
+(** Legacy synchronous forward; raises {!Dropped} on a chaos drop. *)
 val forward : t -> direction:direction -> string -> string
 
 (** Flip one payload byte of the next forwarded frame (tests). *)
 val corrupt_next_frame : t -> unit
 
-(** Oldest first. *)
+(** Oldest first; includes every transmission the SP forwarded —
+    retries and duplicate copies too. *)
 val observations : t -> observation list
 
 val network_time_s : t -> float
 val reset_clock : t -> unit
+
+(** Add endpoint waiting time (timeouts, backoff) to the virtual clock. *)
+val advance_clock : t -> float -> unit
 
 (** Canonical string of the SP's (direction, kind, size) view. *)
 val view_fingerprint : t -> string

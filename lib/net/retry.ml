@@ -1,0 +1,77 @@
+(* Retry policy for lockstep exchanges over the lossy link: a per-exchange
+   attempt budget, a timeout after which a silent peer means a lost frame,
+   and capped exponential backoff with seeded jitter between attempts.
+
+   The jitter draw comes from the caller's DRBG, so a retried experiment
+   replays bit-for-bit — the same property the rest of the repository
+   keeps for its randomness.  Desynchronising retries matters at scale
+   (ROADMAP's millions of users): without jitter, every client that lost
+   the same congested frame retries in the same slot and collides
+   again. *)
+
+type policy = {
+  max_attempts : int;     (* total tries per exchange, >= 1 *)
+  timeout_s : float;      (* wait before declaring an attempt lost *)
+  backoff : float;        (* wait multiplier per consecutive failure *)
+  max_backoff_s : float;  (* cap on the grown wait *)
+  jitter : float;         (* fraction of the wait drawn uniformly *)
+}
+
+(* Fail-fast: one attempt, no waiting — the pre-retry behaviour
+   ([Session.run_round] raising [Network_error] on the first fault). *)
+let none =
+  { max_attempts = 1; timeout_s = 0.; backoff = 1.; max_backoff_s = 0.;
+    jitter = 0. }
+
+let default =
+  { max_attempts = 6; timeout_s = 0.5; backoff = 2.; max_backoff_s = 8.;
+    jitter = 0.1 }
+
+let make ?(max_attempts = default.max_attempts)
+    ?(timeout_s = default.timeout_s) ?(backoff = default.backoff)
+    ?(max_backoff_s = default.max_backoff_s) ?(jitter = default.jitter) () =
+  if max_attempts < 1 then invalid_arg "Retry.make: max_attempts < 1";
+  if timeout_s < 0. then invalid_arg "Retry.make: timeout_s < 0";
+  if backoff < 1. then invalid_arg "Retry.make: backoff < 1";
+  if max_backoff_s < 0. then invalid_arg "Retry.make: max_backoff_s < 0";
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Retry.make: jitter outside [0, 1]";
+  { max_attempts; timeout_s; backoff; max_backoff_s; jitter }
+
+(* Wait before attempt [failures + 1]: timeout for the lost attempt plus
+   the backed-off pause, jittered.  [rand bound] must be uniform in
+   [0, bound) (a {!Lbq_crypto.Drbg.int} partial application). *)
+let wait_s policy ~failures ~rand =
+  let grown =
+    policy.timeout_s *. (policy.backoff ** float_of_int (max 0 (failures - 1)))
+  in
+  let capped = Float.min grown policy.max_backoff_s in
+  let jitter =
+    if policy.jitter = 0. then 0.
+    else
+      let u = float_of_int (rand 0x4000_0000) /. 1073741824. in
+      capped *. policy.jitter *. u
+  in
+  policy.timeout_s +. capped +. jitter
+
+(* Drive [attempt] up to the policy budget.  [on_retry ~failures ~wait_s]
+   fires before each re-attempt (the session layer advances the virtual
+   clock and bumps the retries counter there).  Returns the last failure
+   when the budget is exhausted. *)
+let run policy ~rand ~on_retry (attempt : unit -> ('a, string) result) :
+    ('a, string) result =
+  let rec go failures last =
+    if failures >= policy.max_attempts then
+      Error
+        (Printf.sprintf "retry budget exhausted after %d attempt(s): %s"
+           policy.max_attempts last)
+    else
+      match attempt () with
+      | Ok v -> Ok v
+      | Error reason ->
+        let failures = failures + 1 in
+        if failures < policy.max_attempts then
+          on_retry ~failures ~wait_s:(wait_s policy ~failures ~rand);
+        go failures reason
+  in
+  go 0 "no attempt made"

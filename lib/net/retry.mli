@@ -1,0 +1,35 @@
+(** Retry policy for lockstep exchanges: attempt budget, loss timeout,
+    and capped exponential backoff with DRBG-seeded jitter. *)
+
+type policy = {
+  max_attempts : int;     (** total tries per exchange, >= 1 *)
+  timeout_s : float;      (** wait before declaring an attempt lost *)
+  backoff : float;        (** wait multiplier per consecutive failure *)
+  max_backoff_s : float;  (** cap on the grown wait *)
+  jitter : float;         (** fraction of the wait drawn uniformly *)
+}
+
+(** One attempt, no waiting: the pre-retry fail-fast behaviour. *)
+val none : policy
+
+(** 6 attempts, 0.5 s timeout, ×2 backoff capped at 8 s, 10% jitter. *)
+val default : policy
+
+(** Validating constructor; raises [Invalid_argument] on a nonsensical
+    field (zero attempts, negative waits, jitter outside [0, 1]). *)
+val make :
+  ?max_attempts:int -> ?timeout_s:float -> ?backoff:float ->
+  ?max_backoff_s:float -> ?jitter:float -> unit -> policy
+
+(** Virtual seconds spent before re-attempting after [failures]
+    consecutive losses: timeout + capped backoff + jitter.  [rand bound]
+    must be uniform in [0, bound). *)
+val wait_s : policy -> failures:int -> rand:(int -> int) -> float
+
+(** Run [attempt] up to the budget; [on_retry] fires before each
+    re-attempt with the failure count so far and the backoff wait.
+    Returns the last failure once the budget is exhausted. *)
+val run :
+  policy -> rand:(int -> int) ->
+  on_retry:(failures:int -> wait_s:float -> unit) ->
+  (unit -> ('a, string) result) -> ('a, string) result

@@ -565,6 +565,98 @@ let test_audit_cell_proofs () =
     (Audit.verify_cell c ~row:0 ~col:0 foreign)
 
 (* ------------------------------------------------------------------ *)
+(* Server-side request validation (adversarial inputs)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hostile queries at the checked handlers: each one must come back as
+   the right typed rejection with the server's [rejects] counter bumped,
+   and a good query must still succeed afterwards. *)
+let test_server_validation_rejections () =
+  let metrics = Lbq_metrics.Counters.create () in
+  let vserver = Server.create ~metrics params ~area pois in
+  let vclient = Client.create (Server.public_info vserver) in
+  (* A legitimate round's worth of material to mutate. *)
+  let cell = Client.locate vclient (Coord.make ~x:10. ~y:10.) in
+  let st1, q1 = Client.stage1_query vclient cell in
+  let cred =
+    Client.stage1_decode vclient st1 (Server.ot_respond vserver q1)
+  in
+  let _st2, (n, g) = Client.stage2_query vclient cred in
+  let expected = ref 0 in
+  let expect_reject name check res =
+    incr expected;
+    (match res with
+     | Ok _ -> Alcotest.failf "%s accepted" name
+     | Error r ->
+       Alcotest.(check bool) (name ^ ": constructor") true (check r);
+       Alcotest.(check bool) (name ^ ": message nonempty") true
+         (String.length (Server.rejection_message r) > 0));
+    Alcotest.(check int) (name ^ ": rejects counter") !expected
+      (Server.rejects vserver)
+  in
+  let oversized = function Server.Pir_modulus_oversized _ -> true | _ -> false in
+  let undersized = function Server.Pir_modulus_undersized _ -> true | _ -> false in
+  let pir_malformed = function Server.Pir_query_malformed _ -> true | _ -> false in
+  let degenerate = function Server.Pir_base_degenerate _ -> true | _ -> false in
+  let ot_malformed = function Server.Ot_query_malformed _ -> true | _ -> false in
+  (* |N| out of bounds, both directions. *)
+  expect_reject "oversized N" oversized
+    (Server.pir_respond_checked vserver ~n:(Z.shift_left n 512) ~g);
+  expect_reject "undersized N" undersized
+    (Server.pir_respond_checked vserver ~n:(Z.of_int 15) ~g:(Z.of_int 4));
+  (* Even N cannot be a product of two odd primes. *)
+  expect_reject "even N" pir_malformed
+    (Server.pir_respond_checked vserver ~n:(Z.succ n) ~g);
+  (* Degenerate bases: g in {0, 1, N-1} (orders 0, 1, 2). *)
+  expect_reject "g = 0" degenerate
+    (Server.pir_respond_checked vserver ~n ~g:Z.zero);
+  expect_reject "g = 1" degenerate
+    (Server.pir_respond_checked vserver ~n ~g:Z.one);
+  expect_reject "g = N-1" degenerate
+    (Server.pir_respond_checked vserver ~n ~g:(Z.pred n));
+  expect_reject "g >= N" degenerate
+    (Server.pir_respond_checked vserver ~n ~g:(Z.add n (Z.of_int 5)));
+  (* OT ciphertext components outside (1, p). *)
+  let p = Lbq_group.Schnorr.p params.Params.group in
+  List.iter
+    (fun (label, bad) ->
+      expect_reject label ot_malformed
+        (Server.ot_respond_checked vserver
+           { q1 with Ot.c1 = { q1.Ot.c1 with Lbq_group.Elgamal.a = bad } }))
+    [ "ot component 0", Z.zero; "ot component 1", Z.one;
+      "ot component p", p ];
+  (* Wrong-length OT payloads die in the wire decoder with Malformed. *)
+  let group = params.Params.group in
+  (match Wire.ot_query_decode group (String.make 10 'x') with
+   | _ -> Alcotest.fail "short ot query accepted"
+   | exception Wire.Malformed _ -> ());
+  let enc = Wire.ot_query_encode group q1 in
+  (match Wire.ot_query_decode group (String.sub enc 0 (String.length enc - 3)) with
+   | _ -> Alcotest.fail "truncated ot query accepted"
+   | exception Wire.Malformed _ -> ());
+  (match Wire.ot_query_decode group (enc ^ "zz") with
+   | _ -> Alcotest.fail "oversized ot query accepted"
+   | exception Wire.Malformed _ -> ());
+  (* After all that hostility, honest queries still work. *)
+  (match Server.ot_respond_checked vserver q1 with
+   | Ok _ -> ()
+   | Error r ->
+     Alcotest.failf "honest OT query rejected: %s"
+       (Server.rejection_message r));
+  (match Server.pir_respond_checked vserver ~n ~g with
+   | Ok ge -> Alcotest.check (Alcotest.testable Z.pp Z.equal) "same answer"
+                (Server.pir_respond vserver ~n ~g) ge
+   | Error r ->
+     Alcotest.failf "honest PIR query rejected: %s"
+       (Server.rejection_message r));
+  Alcotest.(check int) "no spurious rejects" !expected
+    (Server.rejects vserver);
+  (* The bounds themselves are coherent: a legit N sits between them. *)
+  Alcotest.(check bool) "legit N within bounds" true
+    (Z.numbits n <= Server.pir_max_modulus_bits vserver
+     && Z.numbits n >= Server.pir_min_modulus_bits vserver)
+
+(* ------------------------------------------------------------------ *)
 (* Params                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -624,4 +716,7 @@ let () =
       ("audit",
        [ Alcotest.test_case "commit/verify" `Quick test_audit_commit_verify;
          Alcotest.test_case "cell proofs" `Quick test_audit_cell_proofs ]);
+      ("validation",
+       [ Alcotest.test_case "adversarial inputs rejected" `Quick
+           test_server_validation_rejections ]);
       ("params", [ Alcotest.test_case "presets" `Quick test_params ]) ]

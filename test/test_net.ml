@@ -107,7 +107,7 @@ let expected_pois position =
   |> List.filter (fun p -> not (Poi.is_dummy p))
 
 let test_bootstrap_roundtrip () =
-  let relay = Relay.create ~link:Link.wifi in
+  let relay = Relay.create ~link:Link.wifi () in
   let info, bytes = Session.bootstrap relay server in
   Alcotest.(check bool) "has size" true (bytes > 0);
   (* A client built from the downloaded info completes a round. *)
@@ -141,7 +141,7 @@ let test_public_info_wire_roundtrip () =
    and byte counts for users in different cells (thanks to PIR padding). *)
 let test_sp_view_independent_of_cell () =
   let run position =
-    let relay = Relay.create ~link:Link.wifi in
+    let relay = Relay.create ~link:Link.wifi () in
     let client = Client.create ~seed:"sp-view" (Server.public_info server) in
     let result, _ = Session.run_round relay client server ~position in
     ignore result;
@@ -154,7 +154,7 @@ let test_sp_view_independent_of_cell () =
   Alcotest.(check string) "cells 1/3" v1 v3
 
 let test_corruption_detected () =
-  let relay = Relay.create ~link:Link.wifi in
+  let relay = Relay.create ~link:Link.wifi () in
   let client = Client.create ~seed:"corrupt" (Server.public_info server) in
   Relay.corrupt_next_frame relay;
   (match Session.run_round relay client server
@@ -165,7 +165,7 @@ let test_corruption_detected () =
 let test_network_time_scales_with_link () =
   let position = Coord.make ~x:1500. ~y:1500. in
   let time link =
-    let relay = Relay.create ~link in
+    let relay = Relay.create ~link () in
     let client = Client.create ~seed:"links" (Server.public_info server) in
     let _, stats = Session.run_round relay client server ~position in
     stats.Session.network_s

@@ -242,6 +242,99 @@ let test_dlog_not_in_subgroup () =
     (Dlog.pohlig_hellman_prime_power ctx ~base:alpha ~target:(Z.of_int 2)
        ~p:(Z.of_int 7) ~c:2)
 
+(* Edge cases of the PIR decode: exponent-1 prime powers (c = 1 slots of
+   the plan), the extreme residues 0 and pi - 1, and a single-congruence
+   CRT — the degenerate shapes a one-cell or one-slot deployment hits. *)
+let test_dlog_exponent_one () =
+  (* alpha1 = alpha^7 generates the order-7 subgroup: a c = 1 instance. *)
+  let n = Z.of_int 555229357 in
+  let ctx = Barrett.create n in
+  let alpha1 = Z.of_int 98589017 in
+  List.iter
+    (fun x ->
+      let target = Barrett.powm ctx alpha1 (Z.of_int x) in
+      Alcotest.check zopt
+        (Printf.sprintf "c=1, x=%d" x)
+        (Some (Z.of_int x))
+        (Dlog.pohlig_hellman_prime_power ctx ~base:alpha1 ~target
+           ~p:(Z.of_int 7) ~c:1))
+    [ 0; 1; 3; 6 ];
+  (* Outside the subgroup: None even for c = 1. *)
+  Alcotest.check zopt "c=1 outside subgroup" None
+    (Dlog.pohlig_hellman_prime_power ctx ~base:alpha1 ~target:Z.two
+       ~p:(Z.of_int 7) ~c:1)
+
+let test_dlog_extreme_residues () =
+  (* Residue 0 (target = 1) and residue pi - 1 at both ends of the order-49
+     subgroup of the Appendix B group. *)
+  let n = Z.of_int 555229357 in
+  let ctx = Barrett.create n in
+  let alpha = Z.of_int 474959247 in
+  let solve target =
+    Dlog.pohlig_hellman_prime_power ctx ~base:alpha ~target ~p:(Z.of_int 7)
+      ~c:2
+  in
+  Alcotest.check zopt "residue 0" (Some Z.zero) (solve Z.one);
+  let last = Z.of_int 48 in
+  Alcotest.check zopt "residue pi-1" (Some last)
+    (solve (Barrett.powm ctx alpha last));
+  (* bsgs agrees at both extremes. *)
+  Alcotest.check zopt "bsgs residue 0" (Some Z.zero)
+    (Dlog.bsgs ctx ~base:alpha ~target:Z.one ~order:(Z.of_int 49));
+  Alcotest.check zopt "bsgs residue pi-1" (Some last)
+    (Dlog.bsgs ctx ~base:alpha ~target:(Barrett.powm ctx alpha last)
+       ~order:(Z.of_int 49))
+
+let test_crt_edge_cases () =
+  (* A single congruence — the single-slot plan of a one-cell database. *)
+  Alcotest.check z "single congruence" (Z.of_int 31)
+    (Crt.solve [ Z.of_int 31, Z.of_int 49 ]);
+  (* Residue 0 everywhere and residue m - 1 everywhere. *)
+  let moduli = [ Z.of_int 49; Z.of_int 121; Z.of_int 169 ] in
+  Alcotest.check z "all zero" Z.zero
+    (Crt.solve (List.map (fun m -> (Z.zero, m)) moduli));
+  let prod = List.fold_left Z.mul Z.one moduli in
+  Alcotest.check z "all m-1" (Z.pred prod)
+    (Crt.solve (List.map (fun m -> (Z.pred m, m)) moduli));
+  (* Residues are reduced mod the product: result below the product. *)
+  let sol = Crt.solve (List.map (fun m -> (Z.pred m, m)) moduli) in
+  Alcotest.(check bool) "canonical" true
+    (Z.compare sol prod < 0 && Z.compare sol Z.zero >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Modular exponentiation oracles                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Barrett.powm, Montgomery.powm and the naive square-and-multiply over Z
+   must agree on random odd moduli — the PIR server answer and the OT
+   exponentiations both lean on these kernels. *)
+let test_powm_cross_check () =
+  for i = 0 to 49 do
+    let bits = 16 + (i * 7 mod 200) in
+    let m = Z.random_bits ~bits rand in
+    let m = if Z.is_even m then Z.succ m else m in  (* force odd *)
+    let m = if Z.compare m (Z.of_int 3) < 0 then Z.of_int 3 else m in
+    let base = Z.erem (Z.random_bits ~bits:(bits + 13) rand) m in
+    let e = Z.random_bits ~bits:(1 + (i * 11 mod 160)) rand in
+    let naive = Z.mod_pow_naive base e m in
+    let barrett = Barrett.powm (Barrett.create m) base e in
+    let mont = Montgomery.powm (Montgomery.create m) base e in
+    if not (Z.equal naive barrett) then
+      Alcotest.failf "case %d: barrett disagrees with naive" i;
+    if not (Z.equal naive mont) then
+      Alcotest.failf "case %d: montgomery disagrees with naive" i
+  done;
+  (* Exponent edge cases: 0, 1, and base 0/1 on a fixed modulus. *)
+  let m = Z.of_int 1000003 in
+  let bctx = Barrett.create m and mctx = Montgomery.create m in
+  List.iter
+    (fun (b, e) ->
+      let b = Z.of_int b and e = Z.of_int e in
+      let expect = Z.mod_pow_naive b e m in
+      Alcotest.check z "barrett edge" expect (Barrett.powm bctx b e);
+      Alcotest.check z "montgomery edge" expect (Montgomery.powm mctx b e))
+    [ (0, 0); (0, 5); (1, 0); (1, 12345); (2, 0); (2, 1); (999999, 999999) ]
+
 (* ------------------------------------------------------------------ *)
 (* Factorisation                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -362,7 +455,15 @@ let () =
          Alcotest.test_case "random small" `Quick test_dlog_random_small;
          Alcotest.test_case "prime power big" `Quick test_dlog_prime_power_big;
          Alcotest.test_case "composite order" `Quick test_dlog_composite_order;
-         Alcotest.test_case "not in subgroup" `Quick test_dlog_not_in_subgroup ]);
+         Alcotest.test_case "not in subgroup" `Quick test_dlog_not_in_subgroup;
+         Alcotest.test_case "exponent-1 slots" `Quick test_dlog_exponent_one;
+         Alcotest.test_case "extreme residues" `Quick
+           test_dlog_extreme_residues ]);
+      ("crt-edges",
+       [ Alcotest.test_case "degenerate shapes" `Quick test_crt_edge_cases ]);
+      ("powm",
+       [ Alcotest.test_case "barrett/montgomery/naive agree" `Quick
+         test_powm_cross_check ]);
       ("factor",
        [ Alcotest.test_case "appendix phi" `Quick test_factor_appendix_phi;
          Alcotest.test_case "structured" `Quick test_factor_structured;
