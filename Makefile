@@ -18,8 +18,14 @@ check:
 	dune runtest
 	dune exec bench/main.exe -- faults 1
 
+# Benchmarks run under the release profile (flambda-style optimisation,
+# no assertions stripped that matter here) so timings reflect deployment:
+# the transport fault sweep plus the stage-2 hot-path ablation that
+# emits BENCH_pir.json.
 bench:
-	dune exec bench/main.exe -- all
+	dune build --profile release bench/main.exe
+	dune exec --profile release bench/main.exe -- faults 2
+	dune exec --profile release bench/main.exe -- pir 3
 
 clean:
 	dune clean

@@ -16,6 +16,10 @@
                      duplication, reorder, latency spikes), with retries
                      under the default backoff policy; emits
                      BENCH_faults.json
+     pir             Stage-2 hot path: powm engine ablation (fixed-window
+                     Barrett / sliding Barrett / Montgomery + cached
+                     recoding), updated Table II closed-form assertion,
+                     and queries/sec vs domain count; emits BENCH_pir.json
      micro           Bechamel micro-benchmarks of the hot primitives
      all             Everything above (default; reduced trial counts)
 
@@ -108,6 +112,8 @@ let table1 _trials =
       let q1 = Ghinita.Client.stage1_query bclient (Coord.make ~x:999. ~y:999.) in
       let r1 = Ghinita.stage1_respond bserver q1 in
       let _ = Ghinita.Client.stage1_decode bclient r1 in
+      let ours = Counters.snapshot ours in
+      let theirs = Counters.snapshot theirs in
       Format.printf
         "  %-7d | %2d/%3d (analytic 6/%3d)      | %3d/%4d (analytic %4d/%4d) | %6d / %d@."
         n ours.Counters.user_exp ours.Counters.server_exp
@@ -153,6 +159,7 @@ let table2 _trials =
   let ge = Gr.Server.respond server ~n ~g in
   let v = Gr.Client.decode st ge in
   assert (Z.equal v records.(index));
+  let ours = Counters.snapshot ours in
   let e_bits = Gr.Server.e_bits server in
   let n_bits = Z.numbits n in
   Format.printf "  Ours (Gentry-Ramzan), %d records, %d-bit blocks:@." count
@@ -185,6 +192,7 @@ let table2 _trials =
   in
   let got = Qr_pir.Client.decode_block stq planes ~target_row:7 in
   assert (String.equal got blocks.(7).(7));
+  let theirs = Counters.snapshot theirs in
   let s = 8 * block_len in
   Format.printf "@.  Ghinita (QR-PIR), %dx%d blocks of %d bits:@." a b
     (8 * block_len);
@@ -716,6 +724,141 @@ let faults trials =
     "  transmissions; results stay byte-identical to the fault-free run.@.@."
 
 (* ------------------------------------------------------------------ *)
+(* PIR hot path: engine ablation, closed form, domain scaling           *)
+(* ------------------------------------------------------------------ *)
+
+(* Stage-2 server hot path at the paper's parameters (225 records,
+   1024-bit blocks, 128-bit q): wall time of one respond under the
+   pre-PR engine (Barrett, fixed 4-bit window) vs the sliding-window
+   Barrett vs the production path (Montgomery + cached recoding); the
+   updated Table II closed form asserted against the measured multiply
+   counter; and queries/sec vs domain count on the worker pool.  Emits
+   BENCH_pir.json. *)
+let pir trials =
+  let open Lbq_net in
+  Format.printf
+    "=== PIR stage-2 hot path: engine ablation & domain scaling ===@.@.";
+  let drbg = Drbg.create ~seed:"bench-pir" () in
+  let rand = Drbg.rand drbg in
+  let count = 225 and block_bits = 1024 and q_bits = 128 in
+  let plan = Gr.make_plan ~count ~block_bits () in
+  let records =
+    Array.init count (fun i ->
+        Z.erem (Z.random_bits ~bits:block_bits rand) (Gr.plan_slot plan i).Gr.pi)
+  in
+  let metrics = Counters.create () in
+  let server = Gr.Server.create ~metrics plan records in
+  let e = Gr.Server.e server in
+  let ebits = Gr.Server.e_bits server in
+  let index = 112 in
+  let st, (n, g) = Gr.Client.query ~plan ~index ~q_bits rand in
+  (* Correctness anchor before timing anything. *)
+  let ge = Gr.Server.respond server ~n ~g in
+  assert (Z.equal (Gr.Client.decode st ge) records.(index));
+  (* --- Ablation: wall time of one full respond (context + g^e). --- *)
+  let reps = max 1 (min trials 3) in
+  let sample f =
+    let acc = ref 0. in
+    let out = ref Z.zero in
+    for _ = 1 to reps do
+      let v, dt = time f in
+      out := v;
+      acc := !acc +. dt
+    done;
+    (!out, !acc /. float_of_int reps)
+  in
+  let r_old, t_old =
+    sample (fun () ->
+        let ctx = Barrett.create n in
+        Barrett.powm_fixed4 ctx g e)
+  in
+  let sched = Gr.Server.schedule server in
+  let r_slide, t_slide =
+    sample (fun () ->
+        let ctx = Barrett.create n in
+        Barrett.powm_sched ctx g sched)
+  in
+  let r_mont, t_mont = sample (fun () -> Gr.Server.respond server ~n ~g) in
+  assert (Z.equal r_old r_slide);
+  assert (Z.equal r_old r_mont);
+  let speedup = t_old /. t_mont in
+  Format.printf
+    "  one respond at paper params: |e| = %d bits, |N| = %d bits (mean of %d)@."
+    ebits (Z.numbits n) reps;
+  Format.printf "    barrett, fixed 4-bit window (pre-PR): %8.3f s@." t_old;
+  Format.printf "    barrett, sliding window:              %8.3f s  (%.2fx)@."
+    t_slide (t_old /. t_slide);
+  Format.printf "    montgomery, sliding + cached recode:  %8.3f s  (%.2fx)@."
+    t_mont speedup;
+  (* --- Updated Table II closed form, asserted exactly. --- *)
+  Counters.reset metrics;
+  ignore (Gr.Server.respond server ~n ~g);
+  let measured = (Counters.snapshot metrics).Counters.server_mult in
+  let predicted = Gr.Server.predicted_mults server in
+  let w = sched.Wexp.width in
+  (* |e| squarings + ~|e|/(w+1) window mults + 2^(w-1) table + slack. *)
+  let bound = ebits + (ebits / (w + 1)) + (1 lsl (w - 1)) + 16 in
+  Format.printf
+    "@.  closed form (window width %d): measured %d mults = predicted %d; \
+     bound |e| + |e|/(w+1) + 2^(w-1) + 16 = %d@."
+    w measured predicted bound;
+  assert (measured = predicted);
+  assert (measured <= bound);
+  assert (measured >= ebits - w);
+  (* --- Queries/sec vs domain count on the worker pool. --- *)
+  let nq = max 4 (min trials 8) in
+  (* One pre-built query answered nq times: server cost is identical per
+     query, and the client's prime search stays off the clock. *)
+  let queries = Array.make nq (n, g) in
+  let answer (n, g) = ignore (Gr.Server.respond server ~n ~g) in
+  let _, seq = time (fun () -> Array.iter answer queries) in
+  let seq_qps = float_of_int nq /. seq in
+  Format.printf "@.  %d queries, sequential: %.2f s  (%.2f q/s)@." nq seq
+    seq_qps;
+  let scaling =
+    List.map
+      (fun d ->
+        Pool.with_pool ~domains:d (fun pool ->
+            let _, dt = time (fun () -> ignore (Pool.map pool answer queries)) in
+            let qps = float_of_int nq /. dt in
+            Format.printf "  %d domain(s): %.2f s  (%.2f q/s, %.2fx)@." d dt qps
+              (qps /. seq_qps);
+            (d, qps)))
+      [ 1; 2; 4 ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf
+    "@.  Scaling tracks the machine's core count (this machine reports %d);@."
+    cores;
+  Format.printf
+    "  on one core the pool only adds scheduling overhead, by design.@.";
+  let oc = open_out "BENCH_pir.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"params\": {\"records\": %d, \"block_bits\": %d, \"q_bits\": %d, \
+     \"e_bits\": %d, \"n_bits\": %d},\n\
+    \  \"ablation\": {\"barrett_fixed4_s\": %.6f, \"barrett_sliding_s\": %.6f, \
+     \"montgomery_sched_s\": %.6f, \"speedup_vs_fixed4\": %.3f},\n\
+    \  \"closed_form\": {\"width\": %d, \"measured_mults\": %d, \
+     \"predicted_mults\": %d, \"bound\": %d},\n\
+    \  \"scaling\": {\"queries\": %d, \"sequential_qps\": %.4f%s},\n\
+    \  \"cores\": %d\n\
+     }\n"
+    count block_bits q_bits ebits (Z.numbits n) t_old t_slide t_mont speedup w
+    measured predicted bound nq seq_qps
+    (String.concat ""
+       (List.map
+          (fun (d, qps) -> Printf.sprintf ", \"domains_%d_qps\": %.4f" d qps)
+          scaling))
+    cores;
+  close_out oc;
+  Format.printf "@.  Wrote BENCH_pir.json.@.@.";
+  if speedup < 1.5 then
+    Format.printf
+      "  WARNING: respond speedup %.2fx below the 1.5x acceptance bar.@.@."
+      speedup
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -789,6 +932,7 @@ let () =
   | "throughput" -> throughput trials
   | "comms" -> comms trials
   | "faults" -> faults trials
+  | "pir" -> pir trials
   | "micro" -> micro trials
   | "all" ->
     table1 trials;
@@ -804,9 +948,10 @@ let () =
     throughput (max 8 trials);
     comms trials;
     faults (max 2 (trials / 2));
+    pir (max 2 (trials / 2));
     micro trials
   | other ->
     Format.eprintf
-      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, micro, all)@."
+      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, pir, micro, all)@."
       other;
     exit 2

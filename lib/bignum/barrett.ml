@@ -74,14 +74,60 @@ let mulmod_nat t a b =
 
 let mulmod t a b = of_nat (mulmod_nat t (to_nat t a) (to_nat t b))
 
-(* Windowed modular exponentiation (4-bit fixed window). *)
+(* Modular squaring: Nat.sqr computes each symmetric cross product once,
+   about half the limb work of [Nat.mul a a]. *)
+let sqrmod_nat t a =
+  (match t.tick with Some r -> incr r | None -> ());
+  reduce_nat t (Nat.sqr a)
+
+let sqrmod t a =
+  let a = to_nat t a in
+  of_nat (sqrmod_nat t a)
+
+(* Execute a precomputed sliding-window schedule (see {!Wexp}): tabulate
+   the odd powers base^1, base^3, ..., base^max_odd, then replay the
+   schedule as squarings and table multiplications. *)
+let powm_nat_sched t (base_ : Nat.t) (s : Wexp.t) : Nat.t =
+  if s.Wexp.first = 0 then
+    (if Nat.compare Nat.one t.m_nat < 0 then Nat.one else Nat.zero)
+  else begin
+    let b = reduce_nat t base_ in
+    let tbl = Array.make (((s.Wexp.max_odd - 1) / 2) + 1) b in
+    if s.Wexp.max_odd >= 3 then begin
+      let b2 = sqrmod_nat t b in
+      for j = 1 to (s.Wexp.max_odd - 1) / 2 do
+        tbl.(j) <- mulmod_nat t tbl.(j - 1) b2
+      done
+    end;
+    let r = ref tbl.(s.Wexp.first lsr 1) in
+    Array.iter
+      (fun op ->
+        if op < 0 then r := sqrmod_nat t !r
+        else r := mulmod_nat t !r tbl.(op lsr 1))
+      s.Wexp.ops;
+    !r
+  end
+
+(* Sliding-window modular exponentiation: recode once, then replay. *)
 let powm_nat t (base_ : Nat.t) (e : Z.t) : Nat.t =
   if Z.sign e < 0 then invalid_arg "Barrett.powm: negative exponent";
+  powm_nat_sched t base_ (Wexp.recode (Z.to_nat e))
+
+let powm t base_ e = of_nat (powm_nat t (to_nat t base_) e)
+let powm_sched t base_ s = of_nat (powm_nat_sched t (to_nat t base_) s)
+
+(* The pre-sliding-window engine — fixed 4-bit windows, a dense 16-entry
+   table, per-bit [Z.testbit] (a div/mod each) and squarings through the
+   general multiplier.  Kept verbatim as the `bench pir` ablation
+   baseline; no production caller remains. *)
+let powm_fixed4 t (base_z : Z.t) (e : Z.t) : Z.t =
+  if Z.sign e < 0 then invalid_arg "Barrett.powm_fixed4: negative exponent";
+  let base_ = to_nat t base_z in
   let nb = Z.numbits e in
-  if nb = 0 then (if Nat.compare Nat.one t.m_nat < 0 then Nat.one else Nat.zero)
+  if nb = 0 then
+    of_nat (if Nat.compare Nat.one t.m_nat < 0 then Nat.one else Nat.zero)
   else begin
     let window = 4 in
-    (* Precompute base^0 .. base^15. *)
     let tbl = Array.make (1 lsl window) Nat.one in
     tbl.(1) <- reduce_nat t base_;
     for i = 2 to (1 lsl window) - 1 do
@@ -100,7 +146,5 @@ let powm_nat t (base_ : Nat.t) (e : Z.t) : Nat.t =
       done;
       if !nibble <> 0 then r := mulmod_nat t !r tbl.(!nibble)
     done;
-    !r
+    of_nat !r
   end
-
-let powm t base_ e = of_nat (powm_nat t (to_nat t base_) e)

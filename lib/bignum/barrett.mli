@@ -26,10 +26,25 @@ val reduce : t -> Z.t -> Z.t
 (** [mulmod t a b] is [a * b mod m]. *)
 val mulmod : t -> Z.t -> Z.t -> Z.t
 
-(** [powm t b e] is [b{^e} mod m] for [e >= 0] (4-bit windowed). *)
+(** [sqrmod t a] is [a{^2} mod m] through the dedicated {!Nat.sqr}
+    (about half the limb products of [mulmod t a a]). *)
+val sqrmod : t -> Z.t -> Z.t
+
+(** [powm t b e] is [b{^e} mod m] for [e >= 0]: sliding-window with an
+    odd-powers table, width from {!Wexp.width_for}. *)
 val powm : t -> Z.t -> Z.t -> Z.t
+
+(** [powm_sched t b s] executes a schedule precomputed by {!Wexp.recode}
+    — the per-query fast path when the exponent is fixed. *)
+val powm_sched : t -> Z.t -> Wexp.t -> Z.t
+
+(** The pre-sliding-window engine (fixed 4-bit window, per-bit
+    [Z.testbit]).  Ablation baseline for [bench pir] only. *)
+val powm_fixed4 : t -> Z.t -> Z.t -> Z.t
 
 (** Limb-level variants for callers already holding residues. *)
 val reduce_nat : t -> Nat.t -> Nat.t
 val mulmod_nat : t -> Nat.t -> Nat.t -> Nat.t
+val sqrmod_nat : t -> Nat.t -> Nat.t
 val powm_nat : t -> Nat.t -> Z.t -> Nat.t
+val powm_nat_sched : t -> Nat.t -> Wexp.t -> Nat.t

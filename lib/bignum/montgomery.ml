@@ -3,7 +3,8 @@
    (a * R mod n with R = B^k); one REDC costs one schoolbook product plus
    one k-limb sweep, which beats Barrett's two reciprocal products on
    exponentiation-heavy workloads.  The bench harness compares the two
-   (`bench/main.exe ablate-mulengine`). *)
+   (`bench/main.exe ablate-mulengine`), and {!Gr.Server.respond} uses this
+   engine by default since honest stage-2 moduli N = Q0*Q1 are odd. *)
 
 let limb_bits = Nat.limb_bits
 let base = Nat.base
@@ -16,6 +17,8 @@ type t = {
   n' : int;           (* -n^{-1} mod B *)
   r2 : Nat.t;         (* R^2 mod n, for conversion into Montgomery form *)
   one_m : Nat.t;      (* R mod n = Montgomery form of 1 *)
+  mutable tick : int ref option;
+    (* optional modular-multiplication counter, mirroring {!Barrett} *)
 }
 
 (* Inverse of an odd limb modulo B, by Hensel lifting. *)
@@ -33,12 +36,57 @@ let create (modulus : Z.t) : t =
   let n = Z.to_nat modulus in
   let k = Array.length n in
   let n' = (base - inv_limb n.(0)) land mask in
-  let r = Nat.shift_left Nat.one (k * limb_bits) in
-  let r2 = snd (Nat.divmod (Nat.mul r r) n) in
-  let one_m = snd (Nat.divmod r n) in
-  { modulus; n; k; n'; r2; one_m }
+  (* R mod n and R^2 mod n by repeated modular doubling instead of a
+     2k-limb product + Knuth division: per-query context setup matters
+     because the server builds one context per stage-2 query.  Start from
+     B^(k-1), which is below the k-limb odd n (n = B^(k-1) would be even);
+     limb_bits doublings reach R = B^k mod n, and k*limb_bits more reach
+     R^2 = R * 2^(k*limb_bits) mod n. *)
+  let buf = Array.make (k + 1) 0 in
+  if k = 1 then buf.(0) <- 1 mod n.(0)  (* n = 1: the ring is trivial *)
+  else buf.(k - 1) <- 1;
+  let ge_n () =
+    buf.(k) <> 0
+    ||
+    let rec go i =
+      i < 0 || (if buf.(i) <> n.(i) then buf.(i) > n.(i) else go (i - 1))
+    in
+    go (k - 1)
+  in
+  let sub_n () =
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let t = buf.(i) - n.(i) - !borrow in
+      buf.(i) <- t land mask;
+      borrow := (t lsr limb_bits) land 1
+    done;
+    buf.(k) <- buf.(k) - !borrow
+  in
+  let double_mod () =
+    let carry = ref 0 in
+    for i = 0 to k do
+      let t = (buf.(i) lsl 1) lor !carry in
+      buf.(i) <- t land mask;
+      carry := t lsr limb_bits
+    done;
+    (* buf < n <= B^k, so the doubled value fits in k+1 limbs *)
+    if ge_n () then sub_n ()
+  in
+  for _ = 1 to limb_bits do double_mod () done;
+  let one_m = Nat.normalize (Array.sub buf 0 k) in
+  for _ = 1 to k * limb_bits do double_mod () done;
+  let r2 = Nat.normalize (Array.sub buf 0 k) in
+  { modulus; n; k; n'; r2; one_m; tick = None }
 
 let modulus t = t.modulus
+
+(* Attach or detach a per-multiplication counter, as in {!Barrett}. *)
+let set_counter t c = t.tick <- c
+
+let counting t r f =
+  let saved = t.tick in
+  t.tick <- Some r;
+  Fun.protect ~finally:(fun () -> t.tick <- saved) f
 
 (* REDC(T) = T * R^{-1} mod n for T < n * R: zero the low k limbs by
    adding multiples of n, then drop them. *)
@@ -54,7 +102,14 @@ let redc t (tt : Nat.t) : Nat.t =
   if Nat.compare hi t.n >= 0 then Nat.sub hi t.n else hi
 
 (* Product of two Montgomery-form residues, in Montgomery form. *)
-let mont_mul t a b = redc t (Nat.mul a b)
+let mont_mul t a b =
+  (match t.tick with Some r -> incr r | None -> ());
+  redc t (Nat.mul a b)
+
+(* Squaring through the dedicated {!Nat.sqr}. *)
+let mont_sqr t a =
+  (match t.tick with Some r -> incr r | None -> ());
+  redc t (Nat.sqr a)
 
 let to_mont t (z : Z.t) : Nat.t =
   let reduced = Z.to_nat (Z.erem z t.modulus) in
@@ -62,34 +117,32 @@ let to_mont t (z : Z.t) : Nat.t =
 
 let of_mont t (m : Nat.t) : Z.t = Z.of_nat (redc t m)
 
-(* Windowed modular exponentiation, mirroring {!Barrett.powm}. *)
-let powm t (base_ : Z.t) (e : Z.t) : Z.t =
-  if Z.sign e < 0 then invalid_arg "Montgomery.powm: negative exponent";
-  let nb = Z.numbits e in
-  if nb = 0 then Z.erem Z.one t.modulus
+(* Execute a precomputed sliding-window schedule (see {!Wexp}),
+   mirroring {!Barrett.powm_sched}. *)
+let powm_sched t (base_ : Z.t) (s : Wexp.t) : Z.t =
+  if s.Wexp.first = 0 then of_mont t t.one_m  (* 1 mod n *)
   else begin
-    let window = 4 in
     let bm = to_mont t base_ in
-    let tbl = Array.make (1 lsl window) t.one_m in
-    tbl.(1) <- bm;
-    for i = 2 to (1 lsl window) - 1 do
-      tbl.(i) <- mont_mul t tbl.(i - 1) bm
-    done;
-    let nwin = (nb + window - 1) / window in
-    let r = ref t.one_m in
-    for w = nwin - 1 downto 0 do
-      for _ = 1 to window do
-        r := mont_mul t !r !r
-      done;
-      let nibble = ref 0 in
-      for b = window - 1 downto 0 do
-        let bit = (w * window) + b in
-        nibble := (!nibble lsl 1) lor (if bit < nb && Z.testbit e bit then 1 else 0)
-      done;
-      if !nibble <> 0 then r := mont_mul t !r tbl.(!nibble)
-    done;
+    let tbl = Array.make (((s.Wexp.max_odd - 1) / 2) + 1) bm in
+    if s.Wexp.max_odd >= 3 then begin
+      let b2 = mont_sqr t bm in
+      for j = 1 to (s.Wexp.max_odd - 1) / 2 do
+        tbl.(j) <- mont_mul t tbl.(j - 1) b2
+      done
+    end;
+    let r = ref tbl.(s.Wexp.first lsr 1) in
+    Array.iter
+      (fun op ->
+        if op < 0 then r := mont_sqr t !r
+        else r := mont_mul t !r tbl.(op lsr 1))
+      s.Wexp.ops;
     of_mont t !r
   end
+
+(* Sliding-window modular exponentiation: recode once, then replay. *)
+let powm t (base_ : Z.t) (e : Z.t) : Z.t =
+  if Z.sign e < 0 then invalid_arg "Montgomery.powm: negative exponent";
+  powm_sched t base_ (Wexp.recode (Z.to_nat e))
 
 (* Plain modular multiplication convenience (converts in and out; for a
    single product Barrett is cheaper — this exists for completeness). *)

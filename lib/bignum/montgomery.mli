@@ -1,16 +1,33 @@
 (** Montgomery modular arithmetic (REDC) for odd moduli — the alternative
     reduction engine to {!Barrett}, compared by
-    [bench/main.exe ablate-mulengine]. *)
+    [bench/main.exe ablate-mulengine] and used by default for the
+    stage-2 server exponentiation (honest moduli N = Q0·Q1 are odd). *)
 
 type t
 
-(** Precompute for an odd positive modulus. *)
+(** Precompute for an odd positive modulus.  [R mod n] and [R{^2} mod n]
+    are derived by repeated modular doubling (no full division), keeping
+    per-query context setup cheap. *)
 val create : Z.t -> t
 
 val modulus : t -> Z.t
 
-(** [powm t b e] is [b{^e} mod m] for [e >= 0] (4-bit windowed REDC). *)
+(** Attach ([Some r]) or detach ([None]) a counter incremented once per
+    Montgomery multiplication/squaring through this context. *)
+val set_counter : t -> int ref option -> unit
+
+(** [counting t r f] runs [f ()] with [r] attached, restoring the
+    previous counter afterwards. *)
+val counting : t -> int ref -> (unit -> 'a) -> 'a
+
+(** [powm t b e] is [b{^e} mod m] for [e >= 0]: sliding-window REDC with
+    an odd-powers table, width from {!Wexp.width_for}. *)
 val powm : t -> Z.t -> Z.t -> Z.t
+
+(** [powm_sched t b s] executes a schedule precomputed by {!Wexp.recode}
+    — the stage-2 per-query fast path with the database exponent's
+    schedule cached server-side. *)
+val powm_sched : t -> Z.t -> Wexp.t -> Z.t
 
 (** One-shot modular product (converts in and out of Montgomery form;
     prefer {!Barrett.mulmod} for isolated products). *)
@@ -21,3 +38,4 @@ val mulmod : t -> Z.t -> Z.t -> Z.t
 val to_mont : t -> Z.t -> Nat.t
 val of_mont : t -> Nat.t -> Z.t
 val mont_mul : t -> Nat.t -> Nat.t -> Nat.t
+val mont_sqr : t -> Nat.t -> Nat.t

@@ -225,6 +225,74 @@ let rec mul (a : t) (b : t) : t =
     add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
   end
 
+(* Schoolbook squaring.  The cross products a_i * a_j (i < j) are each
+   computed once and doubled afterwards, so squaring costs about half the
+   limb products of [mul_schoolbook a a]; the diagonal a_i^2 terms are
+   folded in last. *)
+let sqr_schoolbook (a : t) : t =
+  let n = Array.length a in
+  if n = 0 then zero
+  else begin
+    let r = Array.make (2 * n) 0 in
+    (* Off-diagonal products a_i * a_j (j > i) accumulated at column i+j. *)
+    for i = 0 to n - 2 do
+      let m = Array.unsafe_get a i in
+      if m <> 0 then begin
+        let carry = ref 0 in
+        for j = i + 1 to n - 1 do
+          let t =
+            Array.unsafe_get r (i + j)
+            + (Array.unsafe_get a j * m)
+            + !carry
+          in
+          Array.unsafe_set r (i + j) (t land mask);
+          carry := t lsr limb_bits
+        done;
+        let k = ref (i + n) in
+        while !carry <> 0 do
+          let t = r.(!k) + !carry in
+          r.(!k) <- t land mask;
+          carry := t lsr limb_bits;
+          incr k
+        done
+      end
+    done;
+    (* Double the cross terms in place (sum < base^2n, carry dies inside). *)
+    let carry = ref 0 in
+    for i = 0 to (2 * n) - 1 do
+      let t = (Array.unsafe_get r i lsl 1) lor !carry in
+      Array.unsafe_set r i (t land mask);
+      carry := t lsr limb_bits
+    done;
+    (* Add the diagonal: a_i^2 spans columns 2i and 2i+1. *)
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let ai = Array.unsafe_get a i in
+      let sq = ai * ai in
+      let t0 = Array.unsafe_get r (2 * i) + (sq land mask) + !carry in
+      Array.unsafe_set r (2 * i) (t0 land mask);
+      let t1 =
+        Array.unsafe_get r ((2 * i) + 1) + (sq lsr limb_bits) + (t0 lsr limb_bits)
+      in
+      Array.unsafe_set r ((2 * i) + 1) (t1 land mask);
+      carry := t1 lsr limb_bits
+    done;
+    normalize r
+  end
+
+(* Karatsuba squaring: (a0 + a1 B^k)^2 needs three half-size squarings,
+   since the middle term (a0 + a1)^2 - a0^2 - a1^2 = 2 a0 a1. *)
+let rec sqr (a : t) : t =
+  if Array.length a < karatsuba_threshold then sqr_schoolbook a
+  else begin
+    let k = (Array.length a + 1) / 2 in
+    let a0, a1 = split a k in
+    let z0 = sqr a0 in
+    let z2 = sqr a1 in
+    let z1 = sub (sqr (add a0 a1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
 let mul_int (a : t) (m : int) : t =
   if m < 0 then invalid_arg "Nat.mul_int: negative"
   else if m = 0 || is_zero a then zero

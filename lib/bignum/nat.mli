@@ -51,6 +51,14 @@ val mul : t -> t -> t
 
 val mul_schoolbook : t -> t -> t
 
+(** [sqr a = mul a a], but each symmetric cross product is computed once
+    and doubled (about half the limb products); Karatsuba squaring above
+    the multiplication threshold.  The modular engines route all their
+    squarings here. *)
+val sqr : t -> t
+
+val sqr_schoolbook : t -> t
+
 (** [mul_low a b limbs] is [(a * b) mod base^limbs], computing only the
     low columns (Barrett's discarded-high-half product). *)
 val mul_low : t -> t -> int -> t

@@ -1,0 +1,115 @@
+(* Sliding-window exponent recoding, shared by the Barrett and Montgomery
+   exponentiation engines.
+
+   A schedule is computed once from the exponent's limbs — a single pass
+   builds an explicit bit table, so the scan never pays the per-bit
+   div/mod that [Z.testbit] does — and is then executed by an engine as a
+   straight-line sequence of modular squarings and multiplications by
+   precomputed odd powers of the base.  Because the Gentry–Ramzan server
+   raises every query's base to the SAME database exponent e, [Gr.Server]
+   recodes e once at creation and replays the schedule for every query. *)
+
+type t = {
+  width : int;  (* window width in bits, 1..7 *)
+  first : int;  (* odd value of the leading window; 0 iff the exponent is 0 *)
+  max_odd : int;  (* largest odd multiplier used: the table holds base^1 .. base^max_odd *)
+  ops : int array;  (* -1 = square; odd v >= 1 = multiply by base^v *)
+  ebits : int;  (* significant bits of the exponent *)
+}
+
+(* Wider windows trade table-build multiplications (2^(w-1) entries)
+   against one multiplication saved per ~(w+1) exponent bits; these
+   break-evens follow the usual sliding-window analysis (HAC 14.85). *)
+let width_for nb =
+  if nb <= 8 then 1
+  else if nb <= 24 then 2
+  else if nb <= 80 then 3
+  else if nb <= 240 then 4
+  else if nb <= 768 then 5
+  else if nb <= 2304 then 6
+  else 7
+
+let recode ?width (e : Nat.t) : t =
+  let nb = Nat.numbits e in
+  if nb = 0 then { width = 1; first = 0; max_odd = 1; ops = [||]; ebits = 0 }
+  else begin
+    let w =
+      match width with
+      | None -> width_for nb
+      | Some w when 1 <= w && w <= 7 -> w
+      | Some _ -> invalid_arg "Wexp.recode: width out of [1, 7]"
+    in
+    (* Explicit bit table, filled limb by limb. *)
+    let bits = Bytes.make nb '\000' in
+    Array.iteri
+      (fun li limb ->
+        let base_idx = li * Nat.limb_bits in
+        let top = min Nat.limb_bits (nb - base_idx) in
+        for b = 0 to top - 1 do
+          if (limb lsr b) land 1 = 1 then
+            Bytes.unsafe_set bits (base_idx + b) '\001'
+        done)
+      e;
+    let bit i = Bytes.unsafe_get bits i = '\001' in
+    (* Window topped at set bit [i]: up to [w] bits scanning down, with
+       trailing zeros stripped so every multiplier stays odd. *)
+    let max_odd = ref 1 in
+    let take i =
+      let l = ref (min w (i + 1)) in
+      let v = ref 0 in
+      for j = i downto i - !l + 1 do
+        v := (!v lsl 1) lor (if bit j then 1 else 0)
+      done;
+      while !v land 1 = 0 do
+        v := !v lsr 1;
+        decr l
+      done;
+      if !v > !max_odd then max_odd := !v;
+      (!v, !l)
+    in
+    (* Worst case (w = 1, all bits set): every remaining bit emits one
+       squaring and one multiplication. *)
+    let ops = Array.make (2 * nb) 0 in
+    let nops = ref 0 in
+    let emit v =
+      ops.(!nops) <- v;
+      incr nops
+    in
+    let first, l0 = take (nb - 1) in
+    let i = ref (nb - 1 - l0) in
+    while !i >= 0 do
+      if not (bit !i) then begin
+        emit (-1);
+        decr i
+      end
+      else begin
+        let v, l = take !i in
+        for _ = 1 to l do
+          emit (-1)
+        done;
+        emit v;
+        i := !i - l
+      end
+    done;
+    { width = w; first; max_odd = !max_odd; ops = Array.sub ops 0 !nops; ebits = nb }
+  end
+
+(* Modular multiplications an engine performs replaying this schedule,
+   odd-powers table included: when any multiplier above 1 occurs the
+   table costs one squaring (base^2) plus (max_odd - 1)/2 products, and
+   then every schedule entry is exactly one squaring or multiplication. *)
+let cost t =
+  if t.first = 0 then 0
+  else
+    (if t.max_odd >= 3 then 1 + ((t.max_odd - 1) / 2) else 0)
+    + Array.length t.ops
+
+(* The exponent this schedule computes, replayed additively over the
+   exponent of the accumulator (test oracle for [recode]). *)
+let to_exponent t =
+  if t.first = 0 then Z.zero
+  else
+    Array.fold_left
+      (fun acc op ->
+        if op < 0 then Z.shift_left acc 1 else Z.add acc (Z.of_int op))
+      (Z.of_int t.first) t.ops

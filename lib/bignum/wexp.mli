@@ -1,0 +1,33 @@
+(** Sliding-window exponent recoding (HAC 14.85), shared by the
+    {!Barrett} and {!Montgomery} exponentiation engines.
+
+    [recode] turns an exponent into a straight-line schedule of modular
+    squarings and multiplications by odd powers of the base.  Recoding is
+    separated from execution so a fixed exponent — the Gentry–Ramzan
+    database integer [e], identical across every stage-2 query — is
+    recoded once and replayed per query. *)
+
+type t = {
+  width : int;  (** window width in bits, 1..7 *)
+  first : int;  (** odd leading-window value; 0 iff the exponent is 0 *)
+  max_odd : int;  (** largest odd multiplier (sizes the powers table) *)
+  ops : int array;  (** -1 = square; odd [v >= 1] = multiply by [base^v] *)
+  ebits : int;  (** significant bits of the exponent *)
+}
+
+(** Cost-optimal window width for an exponent of [nb] bits (1..7). *)
+val width_for : int -> int
+
+(** Recode an exponent given as {!Nat.t} limbs.  The schedule is scanned
+    from an explicit bit table built in one pass over the limbs — no
+    per-bit division.  [width] forces a window width (testing/ablation);
+    default is {!width_for} of the exponent's bit length. *)
+val recode : ?width:int -> Nat.t -> t
+
+(** Exact modular multiplications an engine performs executing the
+    schedule, including building the odd-powers table (the updated
+    Table II closed form asserts against this). *)
+val cost : t -> int
+
+(** The exponent the schedule computes — replay oracle for tests. *)
+val to_exponent : t -> Z.t

@@ -137,7 +137,7 @@ let reject t (r : rejection) : ('a, rejection) result =
   Counters.rejects t.metrics 1;
   Error r
 
-let rejects t = t.metrics.Counters.rejects
+let rejects t = (Counters.snapshot t.metrics).Counters.rejects
 
 (* Widest modulus a legitimate query can need (resource-exhaustion
    guard): delegate to the PIR plan. *)

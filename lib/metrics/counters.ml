@@ -5,48 +5,113 @@
    in multiples of the element length L.  Protocol code increments these
    counters at each site where it actually performs the counted operation,
    and the bench harness checks the measured totals against the closed
-   forms. *)
+   forms.
+
+   Cells are [Atomic.t] so the Domains query pool (lib/net/pool.ml) can
+   bump one shared record from concurrent handlers without losing
+   updates; readers take a coherent-enough [snapshot] (each field is read
+   atomically; the record as a whole is only quiescently consistent,
+   which is what the bench and tests need). *)
 
 type t = {
-  mutable user_exp : int;      (* modular exponentiations by the user *)
-  mutable server_exp : int;    (* ... by the server *)
-  mutable user_mult : int;     (* modular multiplications by the user *)
-  mutable server_mult : int;   (* ... by the server *)
-  mutable user_bytes : int;    (* bytes sent by the user *)
-  mutable server_bytes : int;  (* bytes sent by the server *)
-  mutable retries : int;       (* exchange attempts repeated after a fault *)
-  mutable drops : int;         (* frames lost or mangled in transit *)
-  mutable rejects : int;       (* requests refused by server validation *)
+  user_exp : int Atomic.t;      (* modular exponentiations by the user *)
+  server_exp : int Atomic.t;    (* ... by the server *)
+  user_mult : int Atomic.t;     (* modular multiplications by the user *)
+  server_mult : int Atomic.t;   (* ... by the server *)
+  user_bytes : int Atomic.t;    (* bytes sent by the user *)
+  server_bytes : int Atomic.t;  (* bytes sent by the server *)
+  retries : int Atomic.t;       (* exchange attempts repeated after a fault *)
+  drops : int Atomic.t;         (* frames lost or mangled in transit *)
+  rejects : int Atomic.t;       (* requests refused by server validation *)
 }
 
-let create () =
-  { user_exp = 0; server_exp = 0; user_mult = 0; server_mult = 0;
-    user_bytes = 0; server_bytes = 0; retries = 0; drops = 0; rejects = 0 }
+(* Plain-integer view for readers (tests, bench, reporting). *)
+type snapshot = {
+  user_exp : int;
+  server_exp : int;
+  user_mult : int;
+  server_mult : int;
+  user_bytes : int;
+  server_bytes : int;
+  retries : int;
+  drops : int;
+  rejects : int;
+}
 
-let reset t =
-  t.user_exp <- 0; t.server_exp <- 0;
-  t.user_mult <- 0; t.server_mult <- 0;
-  t.user_bytes <- 0; t.server_bytes <- 0;
-  t.retries <- 0; t.drops <- 0; t.rejects <- 0
+let create () : t =
+  {
+    user_exp = Atomic.make 0;
+    server_exp = Atomic.make 0;
+    user_mult = Atomic.make 0;
+    server_mult = Atomic.make 0;
+    user_bytes = Atomic.make 0;
+    server_bytes = Atomic.make 0;
+    retries = Atomic.make 0;
+    drops = Atomic.make 0;
+    rejects = Atomic.make 0;
+  }
 
-let copy t = { t with user_exp = t.user_exp }
+(* A shared do-nothing sink for callers that don't measure.  The bump
+   sites below test physical equality against it, so unmeasured calls
+   skip the write entirely: before domains this was one shared mutable
+   record that every unmeasured caller scribbled on. *)
+let null : t = create ()
 
-let user_exp t n = t.user_exp <- t.user_exp + n
-let server_exp t n = t.server_exp <- t.server_exp + n
-let user_mult t n = t.user_mult <- t.user_mult + n
-let server_mult t n = t.server_mult <- t.server_mult + n
-let user_bytes t n = t.user_bytes <- t.user_bytes + n
-let server_bytes t n = t.server_bytes <- t.server_bytes + n
-let retries t n = t.retries <- t.retries + n
-let drops t n = t.drops <- t.drops + n
-let rejects t n = t.rejects <- t.rejects + n
+let snapshot (t : t) : snapshot =
+  {
+    user_exp = Atomic.get t.user_exp;
+    server_exp = Atomic.get t.server_exp;
+    user_mult = Atomic.get t.user_mult;
+    server_mult = Atomic.get t.server_mult;
+    user_bytes = Atomic.get t.user_bytes;
+    server_bytes = Atomic.get t.server_bytes;
+    retries = Atomic.get t.retries;
+    drops = Atomic.get t.drops;
+    rejects = Atomic.get t.rejects;
+  }
 
-let pp fmt t =
+let reset (t : t) =
+  Atomic.set t.user_exp 0;
+  Atomic.set t.server_exp 0;
+  Atomic.set t.user_mult 0;
+  Atomic.set t.server_mult 0;
+  Atomic.set t.user_bytes 0;
+  Atomic.set t.server_bytes 0;
+  Atomic.set t.retries 0;
+  Atomic.set t.drops 0;
+  Atomic.set t.rejects 0
+
+let copy (t : t) : t =
+  let s = snapshot t in
+  {
+    user_exp = Atomic.make s.user_exp;
+    server_exp = Atomic.make s.server_exp;
+    user_mult = Atomic.make s.user_mult;
+    server_mult = Atomic.make s.server_mult;
+    user_bytes = Atomic.make s.user_bytes;
+    server_bytes = Atomic.make s.server_bytes;
+    retries = Atomic.make s.retries;
+    drops = Atomic.make s.drops;
+    rejects = Atomic.make s.rejects;
+  }
+
+let bump (t : t) (cell : int Atomic.t) (n : int) =
+  if t != null then ignore (Atomic.fetch_and_add cell n)
+
+let user_exp (t : t) n = bump t t.user_exp n
+let server_exp (t : t) n = bump t t.server_exp n
+let user_mult (t : t) n = bump t t.user_mult n
+let server_mult (t : t) n = bump t t.server_mult n
+let user_bytes (t : t) n = bump t t.user_bytes n
+let server_bytes (t : t) n = bump t t.server_bytes n
+let retries (t : t) n = bump t t.retries n
+let drops (t : t) n = bump t t.drops n
+let rejects (t : t) n = bump t t.rejects n
+
+let pp fmt (t : t) =
+  let s = snapshot t in
   Format.fprintf fmt
     "@[user: %d exp, %d mult, %d B sent; server: %d exp, %d mult, %d B sent; \
      transport: %d retries, %d drops, %d rejects@]"
-    t.user_exp t.user_mult t.user_bytes t.server_exp t.server_mult
-    t.server_bytes t.retries t.drops t.rejects
-
-(* A shared do-nothing sink for callers that don't measure. *)
-let null = create ()
+    s.user_exp s.user_mult s.user_bytes s.server_exp s.server_mult
+    s.server_bytes s.retries s.drops s.rejects

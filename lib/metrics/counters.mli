@@ -1,23 +1,33 @@
 (** Operation and traffic counters backing the Table I / Table II
     reproduction: protocol code increments them at each modular
     exponentiation / multiplication / message it performs, and the bench
-    harness compares the totals with the paper's closed forms. *)
+    harness compares the totals with the paper's closed forms.
 
-type t = {
-  mutable user_exp : int;
-  mutable server_exp : int;
-  mutable user_mult : int;
-  mutable server_mult : int;
-  mutable user_bytes : int;
-  mutable server_bytes : int;
-  mutable retries : int;
-  mutable drops : int;
-  mutable rejects : int;
+    Counters are domain-safe: cells are [Atomic.t], so handlers running
+    on the {!Lbq_net.Pool} Domains pool can share one record without
+    losing increments.  Readers take a {!snapshot}. *)
+
+type t
+
+(** Plain-integer view of a counter record at one moment.  Each field is
+    read atomically; the record as a whole is quiescently consistent
+    (exact once concurrent handlers have finished). *)
+type snapshot = {
+  user_exp : int;
+  server_exp : int;
+  user_mult : int;
+  server_mult : int;
+  user_bytes : int;
+  server_bytes : int;
+  retries : int;
+  drops : int;
+  rejects : int;
 }
 
 val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
+val snapshot : t -> snapshot
 
 val user_exp : t -> int -> unit
 val server_exp : t -> int -> unit
@@ -36,5 +46,7 @@ val rejects : t -> int -> unit
 
 val pp : Format.formatter -> t -> unit
 
-(** Shared sink for unmeasured runs. *)
+(** Shared sink for unmeasured runs.  Increment calls on [null] are
+    no-ops (guarded by physical equality), so unmeasured callers neither
+    race on nor pay for a shared record. *)
 val null : t

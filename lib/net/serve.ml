@@ -1,0 +1,52 @@
+(* Parallel query serving over {!Lbq_core.Server}: the paper's §VI
+   throughput remedy, answering independent OT/PIR queries concurrently
+   on a {!Pool} of domains.
+
+   A PIR response is a pure function of the query and the fixed database
+   exponent — every worker builds its own engine context — so stage-2
+   queries run fully parallel and the batch is byte-identical to
+   sequential serving.  The OT responder draws blinding exponents from
+   the server's single DRBG stream, which is a plain closure; OT requests
+   therefore serialise on a lock.  That is the right trade: OT is cheap
+   stage-1 traffic, while stage-2 (|e| multiplications per query) is what
+   this pool exists to spread. *)
+
+open Lbq_bignum
+module Server = Lbq_core.Server
+module Ot = Lbq_ot.Ot
+
+type request =
+  | Ot_query of Ot.query
+  | Pir_query of { n : Z.t; g : Z.t }
+
+type reply =
+  | Ot_reply of (Ot.response, Server.rejection) result
+  | Pir_reply of (Z.t, Server.rejection) result
+
+type t = {
+  server : Server.t;
+  ot_lock : Mutex.t;  (* guards the server's shared DRBG *)
+}
+
+let create server = { server; ot_lock = Mutex.create () }
+let server t = t.server
+
+(* Answer one request; safe to call from any domain. *)
+let handle t = function
+  | Ot_query q ->
+    Mutex.lock t.ot_lock;
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.ot_lock)
+        (fun () -> Server.ot_respond_checked t.server q)
+    in
+    Ot_reply r
+  | Pir_query { n; g } -> Pir_reply (Server.pir_respond_checked t.server ~n ~g)
+
+(* Answer a batch: concurrently on [pool] when given, sequentially
+   otherwise.  Replies come back in request order either way, and PIR
+   replies are identical in both modes (determinism test relies on it). *)
+let serve ?pool t (requests : request array) : reply array =
+  match pool with
+  | None -> Array.map (handle t) requests
+  | Some p -> Pool.map p (handle t) requests

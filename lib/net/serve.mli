@@ -1,0 +1,32 @@
+(** Parallel query serving over {!Lbq_core.Server} — §VI's "parallel
+    processing" remedy for stage-2 throughput.
+
+    PIR requests are pure and run fully concurrent on the {!Pool}; OT
+    requests serialise on an internal lock because the OT responder
+    consumes the server's single DRBG stream.  Replies preserve request
+    order, and PIR replies are byte-identical to sequential serving. *)
+
+open Lbq_bignum
+module Server = Lbq_core.Server
+module Ot = Lbq_ot.Ot
+
+type request =
+  | Ot_query of Ot.query
+  | Pir_query of { n : Z.t; g : Z.t }
+
+type reply =
+  | Ot_reply of (Ot.response, Server.rejection) result
+  | Pir_reply of (Z.t, Server.rejection) result
+
+type t
+
+val create : Server.t -> t
+val server : t -> Server.t
+
+(** Answer one request through the validated Core handlers; callable
+    from any domain. *)
+val handle : t -> request -> reply
+
+(** Answer a batch, concurrently when a pool is given.  Replies are in
+    request order. *)
+val serve : ?pool:Pool.t -> t -> request array -> reply array

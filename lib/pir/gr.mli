@@ -40,14 +40,25 @@ module Server : sig
   val e_bits : t -> int
   val plan : t -> plan
 
+  (** The sliding-window schedule of [e], recoded once at creation and
+      replayed by every {!respond}. *)
+  val schedule : t -> Wexp.t
+
+  (** Exact modular multiplications one {!respond} performs on the
+      default (Montgomery) engine: [Wexp.cost (schedule t) + 1] for the
+      conversion of [g] into Montgomery form.  The updated Table II
+      closed form that the bench asserts. *)
+  val predicted_mults : t -> int
+
   (** Widest modulus a legitimate query can need for this plan with
       cofactor primes of [q_bits] bits (resource-exhaustion guard). *)
   val max_modulus_bits : t -> q_bits:int -> int
 
-  (** Answer a query: [g^e mod N].  |e| modular multiplications — the
-      Table II server cost (measured through the Barrett counter).
-      Rejects [g] out of range and, when [max_n_bits] is given, oversized
-      moduli. *)
+  (** Answer a query: [g^e mod N], replaying the cached schedule — the
+      Table II server cost, measured through the engine counter.  Honest
+      moduli [N = Q0·Q1] are odd and served by Montgomery REDC; Barrett
+      remains the fallback for even/edge moduli.  Rejects [g] out of
+      range and, when [max_n_bits] is given, oversized moduli. *)
   val respond : ?max_n_bits:int -> t -> n:Z.t -> g:Z.t -> Z.t
 end
 
@@ -68,8 +79,11 @@ module Client : sig
   val generator : state -> Z.t
 
   (** Recover the record: raise to [phi/pi] and take a Pohlig–Hellman
-      discrete log in the order-pi subgroup.  Raises [Invalid_argument]
-      if the response is not in the expected subgroup (tampering). *)
+      discrete log in the order-pi subgroup.  The subgroup base
+      [h = g{^phi/pi}] and the solver's tables are cached in the state on
+      first use, so decoding further responses for the same instance is
+      cheaper.  Raises [Invalid_argument] if the response is not in the
+      expected subgroup (tampering). *)
   val decode : state -> Z.t -> Z.t
 end
 

@@ -65,16 +65,16 @@ let test_cost_shape_vs_paper () =
   in
   let position = Coord.make ~x:1000. ~y:1000. in
   let q = Ghinita.Client.stage1_query client position in
-  Alcotest.(check int) "user stage-1 exps" 4 metrics.Counters.user_exp;
+  Alcotest.(check int) "user stage-1 exps" 4 (Counters.snapshot metrics).Counters.user_exp;
   Counters.reset metrics;
   let r = Ghinita.stage1_respond server q in
   Alcotest.(check int) "server stage-1 exps = 4nm" (4 * 5 * 5)
-    metrics.Counters.server_exp;
+    (Counters.snapshot metrics).Counters.server_exp;
   Counters.reset metrics;
   let _cell = Ghinita.Client.stage1_decode client r in
   (* Decryptions: between 4 (first cell) and 4nm (last cell). *)
   Alcotest.(check bool) "user decryptions within bound" true
-    (metrics.Counters.user_exp >= 4 && metrics.Counters.user_exp <= 4 * 25)
+    ((Counters.snapshot metrics).Counters.user_exp >= 4 && (Counters.snapshot metrics).Counters.user_exp <= 4 * 25)
 
 let test_stage1_outside_area () =
   let server = make_server () in

@@ -152,6 +152,62 @@ let test_barrett_basic () =
     (Barrett.mulmod b (Z.of_int 123456789) (Z.of_int 987654321));
   Alcotest.check z "powm 0" Z.one (Barrett.powm b (Z.of_int 5) Z.zero)
 
+let test_sqr_shapes () =
+  let nat = Alcotest.testable
+      (fun fmt a -> Format.pp_print_string fmt (Nat.to_string a))
+      Nat.equal
+  in
+  let check_shape name (a : Nat.t) =
+    Alcotest.check nat name (Nat.mul a a) (Nat.sqr a)
+  in
+  check_shape "zero" Nat.zero;
+  check_shape "one" Nat.one;
+  check_shape "one limb" (Nat.of_int 12345);
+  check_shape "max limb" (Nat.of_int Nat.mask);
+  (* Around the Karatsuba threshold (32 limbs), and all-ones limbs to
+     push every carry chain to its maximum. *)
+  List.iter
+    (fun limbs ->
+      check_shape
+        (Printf.sprintf "all-ones %d limbs" limbs)
+        (Array.make limbs Nat.mask);
+      let seeded = Array.init limbs (fun i -> (i * 7919 + 13) land Nat.mask) in
+      check_shape
+        (Printf.sprintf "patterned %d limbs" limbs)
+        (Nat.normalize seeded))
+    [ 2; 31; 32; 33; 64; 65 ]
+
+let test_wexp_edges () =
+  (* Exponent 0: empty schedule, executed as 1 mod m. *)
+  let s0 = Wexp.recode Nat.zero in
+  Alcotest.(check int) "e=0 first" 0 s0.Wexp.first;
+  Alcotest.(check int) "e=0 cost" 0 (Wexp.cost s0);
+  Alcotest.check z "e=0 replay" Z.zero (Wexp.to_exponent s0);
+  let m = Z.of_string "100000000000000000763" in
+  let ctx = Barrett.create m in
+  Alcotest.check z "powm e=0" Z.one (Barrett.powm ctx (Z.of_int 7) Z.zero);
+  Alcotest.check z "powm e=1" (Z.of_int 7)
+    (Barrett.powm ctx (Z.of_int 7) Z.one);
+  (* Long zero runs: 2^k and 2^k + 1 at every width. *)
+  List.iter
+    (fun width ->
+      List.iter
+        (fun k ->
+          let e = Z.pow Z.two k in
+          List.iter
+            (fun e ->
+              let s = Wexp.recode ~width (Z.to_nat e) in
+              Alcotest.check z
+                (Printf.sprintf "replay w=%d k=%d" width k)
+                e (Wexp.to_exponent s);
+              Alcotest.check z
+                (Printf.sprintf "powm_sched w=%d k=%d" width k)
+                (Z.mod_pow_naive (Z.of_int 3) e m)
+                (Barrett.powm_sched ctx (Z.of_int 3) s))
+            [ e; Z.succ e ])
+        [ 1; 7; 26; 27; 100 ])
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -251,6 +307,39 @@ let props =
         let m = Z.of_string "57896044618658097711785492504343953926634992332820282019728792003956564819949" in
         let ctx = Montgomery.create m in
         Z.equal (Z.erem a m) (Montgomery.of_mont ctx (Montgomery.to_mont ctx a)));
+    prop "nat sqr = mul a a" 300 arb_big (fun a ->
+        let a = Z.to_nat (Z.abs a) in
+        Nat.equal (Nat.mul a a) (Nat.sqr a));
+    prop "wexp recode replays the exponent" 300
+      (QCheck.make QCheck.Gen.(pair gen_big (int_range 1 7)))
+      (fun (e, width) ->
+        let e = Z.abs e in
+        Z.equal e (Wexp.to_exponent (Wexp.recode ~width (Z.to_nat e))));
+    prop "sliding powm = naive at every width" 60
+      (QCheck.make
+         QCheck.Gen.(quad gen_big gen_big gen_big (int_range 1 7)))
+      (fun (b_, e, m, width) ->
+        QCheck.assume (Z.gt m Z.one);
+        let e = Z.abs e in
+        let ctx = Barrett.create m in
+        let s = Wexp.recode ~width (Z.to_nat e) in
+        Z.equal (Barrett.powm_sched ctx b_ s) (Z.mod_pow_naive b_ e m));
+    prop "fixed4 engine = sliding engine" 60
+      (QCheck.make QCheck.Gen.(triple gen_big gen_big gen_big))
+      (fun (b_, e, m) ->
+        QCheck.assume (Z.gt m Z.one);
+        let e = Z.abs e in
+        let ctx = Barrett.create m in
+        Z.equal (Barrett.powm_fixed4 ctx b_ e) (Barrett.powm ctx b_ e));
+    prop "barrett = montgomery on odd moduli" 60
+      (QCheck.make QCheck.Gen.(triple gen_big gen_big gen_big))
+      (fun (b_, e, m) ->
+        QCheck.assume (Z.gt m Z.one);
+        let e = Z.abs e in
+        let m = if Z.is_even m then Z.succ m else m in
+        let bctx = Barrett.create m in
+        let mctx = Montgomery.create m in
+        Z.equal (Barrett.powm bctx b_ e) (Montgomery.powm mctx b_ e));
     prop "mul_low = mul mod base^k" 300
       (QCheck.make QCheck.Gen.(triple gen_big gen_big (int_range 0 20)))
       (fun (a, b, k) ->
@@ -284,5 +373,7 @@ let () =
          Alcotest.test_case "knuth adversarial" `Quick test_knuth_adversarial;
          Alcotest.test_case "shift" `Quick test_shift;
          Alcotest.test_case "numbits" `Quick test_numbits;
-         Alcotest.test_case "barrett basic" `Quick test_barrett_basic ]);
+         Alcotest.test_case "barrett basic" `Quick test_barrett_basic;
+         Alcotest.test_case "sqr shapes" `Quick test_sqr_shapes;
+         Alcotest.test_case "wexp edges" `Quick test_wexp_edges ]);
       ("properties", props) ]

@@ -251,7 +251,7 @@ let test_budget_exhaustion () =
        (contains ~needle:"exhausted" m));
   let cs = Chaos.stats chaos in
   Alcotest.(check int) "all attempts dropped" 3 cs.Chaos.drops;
-  Alcotest.(check int) "client retries counter" 2 metrics.Counters.retries
+  Alcotest.(check int) "client retries counter" 2 (Counters.snapshot metrics).Counters.retries
 
 (* Duplicates and latency spikes are delivered faults: the round
    completes with zero retries; duplicates double frames and bytes,

@@ -220,6 +220,36 @@ let test_dlog_prime_power_big () =
   Alcotest.check zopt "recovers secret" (Some secret)
     (Dlog.pohlig_hellman_prime_power ctx ~base:h ~target ~p:(Z.of_int 3) ~c:20)
 
+let test_dlog_solver_reuse () =
+  (* One Prime_power_solver must serve many targets (the PIR client
+     decodes repeatedly against a fixed instance) and agree with the
+     one-shot entry point. *)
+  let pi = Z.pow (Z.of_int 3) 12 in
+  let _, q0 = Primegen.semi_safe ~q_bits:20 ~multiple:pi rand in
+  let _, q1 = Primegen.semi_safe ~q_bits:20 ~multiple:Z.one rand in
+  let n = Z.mul q0 q1 in
+  let ctx = Barrett.create n in
+  let phi = Z.mul (Z.pred q0) (Z.pred q1) in
+  let rec find_h g =
+    let h = Barrett.powm ctx g (Z.div phi pi) in
+    let h3 = Barrett.powm ctx h (Z.div pi (Z.of_int 3)) in
+    if Z.equal h3 Z.one then find_h (Z.succ g) else h
+  in
+  let h = find_h Z.two in
+  let solver = Dlog.Prime_power_solver.make ctx ~base:h ~p:(Z.of_int 3) ~c:12 in
+  List.iter
+    (fun secret ->
+      let secret = Z.erem (Z.of_int secret) pi in
+      let target = Barrett.powm ctx h secret in
+      Alcotest.check zopt
+        (Printf.sprintf "solver reuse x=%s" (Z.to_string secret))
+        (Some secret)
+        (Dlog.Prime_power_solver.solve solver target);
+      Alcotest.check zopt "matches one-shot" (Some secret)
+        (Dlog.pohlig_hellman_prime_power ctx ~base:h ~target ~p:(Z.of_int 3)
+           ~c:12))
+    [ 0; 1; 2; 531440; 265720; 77777; 300000 ]
+
 let test_dlog_composite_order () =
   (* Full Pohlig-Hellman with CRT combine: group (Z/pZ)* with smooth p-1. *)
   let p = Z.of_int 8101 in (* 8101 - 1 = 2^2 * 3^4 * 5^2 *)
@@ -454,6 +484,7 @@ let () =
          Alcotest.test_case "table V" `Quick test_table_v;
          Alcotest.test_case "random small" `Quick test_dlog_random_small;
          Alcotest.test_case "prime power big" `Quick test_dlog_prime_power_big;
+         Alcotest.test_case "solver reuse" `Quick test_dlog_solver_reuse;
          Alcotest.test_case "composite order" `Quick test_dlog_composite_order;
          Alcotest.test_case "not in subgroup" `Quick test_dlog_not_in_subgroup;
          Alcotest.test_case "exponent-1 slots" `Quick test_dlog_exponent_one;

@@ -156,18 +156,18 @@ let test_ot_metrics_match_table1 () =
   let n = 4 and m = 5 in
   let metrics = Counters.create () in
   let server = make_server ~rows:n ~cols:m ~metrics () in
-  Alcotest.(check int) "init exps" (n + m) metrics.Counters.server_exp;
+  Alcotest.(check int) "init exps" (n + m) (Counters.snapshot metrics).Counters.server_exp;
   Counters.reset metrics;
   let st, q = Ot.Client.query ~group:grp ~rand ~metrics ~i:1 ~j:1 () in
   let resp = Ot.Server.respond server q in
   let _ = Ot.Client.decode st ~masked:(Ot.Server.masked_table server) resp in
-  Alcotest.(check int) "user exps = 6" 6 metrics.Counters.user_exp;
+  Alcotest.(check int) "user exps = 6" 6 (Counters.snapshot metrics).Counters.user_exp;
   Alcotest.(check int) "server exps = 3n+3m" ((3 * n) + (3 * m))
-    metrics.Counters.server_exp;
+    (Counters.snapshot metrics).Counters.server_exp;
   let l = Ot.element_len grp in
-  Alcotest.(check int) "query bytes = 4L" (4 * l) metrics.Counters.user_bytes;
+  Alcotest.(check int) "query bytes = 4L" (4 * l) (Counters.snapshot metrics).Counters.user_bytes;
   Alcotest.(check int) "response bytes = 2(m+n)L" (2 * (m + n) * l)
-    metrics.Counters.server_bytes
+    (Counters.snapshot metrics).Counters.server_bytes
 
 let test_ot_invalid_inputs () =
   Alcotest.check_raises "ragged"
@@ -244,8 +244,8 @@ let test_ot1_metrics () =
   let resp = Ot1.Server.respond server q in
   let _ = Ot1.Client.decode st ~masked:(Ot1.Server.masked_table server) resp in
   Alcotest.(check int) "user exps (2 query + 1 decode)" 3
-    metrics.Counters.user_exp;
-  Alcotest.(check int) "server exps 3k" (3 * k) metrics.Counters.server_exp
+    (Counters.snapshot metrics).Counters.user_exp;
+  Alcotest.(check int) "server exps 3k" (3 * k) (Counters.snapshot metrics).Counters.server_exp
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                           *)

@@ -169,18 +169,23 @@ let test_gr_metrics () =
   let st, (n, g) = Gr.Client.query ~metrics ~plan ~index:0 ~q_bits:24 rand in
   let ge = Gr.Server.respond server ~n ~g in
   let _ = Gr.Client.decode st ge in
-  (* Server: ~|e| mults (windowed exponentiation adds a fraction). *)
+  (* Server: the updated Table II closed form is exact — the cached
+     window schedule's cost plus one Montgomery conversion — and stays
+     within the analytic |e| + |e|/(w+1) + 2^(w-1) + slack bound. *)
   let ebits = Gr.Server.e_bits server in
-  Alcotest.(check bool) "server mults >= |e|" true
-    (metrics.Counters.server_mult >= ebits);
-  Alcotest.(check bool) "server mults <= 1.5|e| + 32" true
-    (metrics.Counters.server_mult <= (3 * ebits / 2) + 32);
+  let w = (Gr.Server.schedule server).Wexp.width in
+  let measured = (Counters.snapshot metrics).Counters.server_mult in
+  Alcotest.(check int) "server mults = predicted closed form"
+    (Gr.Server.predicted_mults server) measured;
+  Alcotest.(check bool) "server mults >= |e| - w" true (measured >= ebits - w);
+  Alcotest.(check bool) "server mults within analytic bound" true
+    (measured <= ebits + (ebits / (w + 1)) + (1 lsl (w - 1)) + 16);
   (* Communication: 2 elements up (N, g), 1 element down. *)
   let el = (Z.numbits n + 7) / 8 in
-  Alcotest.(check int) "user bytes" (2 * el) metrics.Counters.user_bytes;
-  Alcotest.(check int) "server bytes" el metrics.Counters.server_bytes;
+  Alcotest.(check int) "user bytes" (2 * el) (Counters.snapshot metrics).Counters.user_bytes;
+  Alcotest.(check int) "server bytes" el (Counters.snapshot metrics).Counters.server_bytes;
   Alcotest.(check bool) "user mults > 2 exponentiations' worth" true
-    (metrics.Counters.user_mult > 0)
+    ((Counters.snapshot metrics).Counters.user_mult > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Input validation (hardening)                                         *)
@@ -262,12 +267,12 @@ let test_qr_pir_metrics () =
   let planes = Qr_pir.Server.respond server ~n:(Qr_pir.modulus qr_pk) q in
   let _ = Qr_pir.Client.decode_block st planes ~target_row:2 in
   let el = (Z.numbits (Qr_pir.modulus qr_pk) + 7) / 8 in
-  Alcotest.(check int) "query bytes = b*L" (cols * el) metrics.Counters.user_bytes;
+  Alcotest.(check int) "query bytes = b*L" (cols * el) (Counters.snapshot metrics).Counters.user_bytes;
   Alcotest.(check int) "answer bytes = a*s*L" (rows * 8 * len * el)
-    metrics.Counters.server_bytes;
+    (Counters.snapshot metrics).Counters.server_bytes;
   (* Server mults: >= a*b per plane (squarings make it higher). *)
   Alcotest.(check bool) "server mults >= a*b*s" true
-    (metrics.Counters.server_mult >= rows * cols * 8 * len)
+    ((Counters.snapshot metrics).Counters.server_mult >= rows * cols * 8 * len)
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                           *)

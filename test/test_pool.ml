@@ -1,0 +1,209 @@
+(* Tests for the Domains worker pool (lib/net/pool.ml) and the parallel
+   query server (lib/net/serve.ml): ordering, exception propagation,
+   byte-identical parallel vs sequential PIR serving, and a mixed OT+PIR
+   batch answered through the pool. *)
+
+open Lbq_bignum
+open Lbq_geo
+open Lbq_core
+module Pool = Lbq_net.Pool
+module Serve = Lbq_net.Serve
+module Gr = Lbq_pir.Gr
+module Drbg = Lbq_crypto.Drbg
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  (* Results must come back in input order regardless of which worker
+     ran which job, at several pool widths including oversubscription. *)
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.(check int) "size" domains (Pool.size pool);
+          let inputs = Array.init 101 Fun.id in
+          let got = Pool.map pool (fun x -> x * x) inputs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "squares with %d domains" domains)
+            (Array.map (fun x -> x * x) inputs)
+            got))
+    [ 1; 2; 4; 8 ]
+
+let test_map_empty_and_reuse () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map pool succ [||]);
+      (* The pool must stay usable across many map calls. *)
+      for round = 1 to 5 do
+        let inputs = Array.init 17 (fun i -> (round * 100) + i) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.map succ inputs)
+          (Pool.map pool succ inputs)
+      done)
+
+exception Boom of int
+
+let test_map_exception () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      (* A failing job must surface its exception to the caller... *)
+      (match
+         Pool.map pool
+           (fun x -> if x = 7 then raise (Boom x) else x)
+           (Array.init 20 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 7 -> ());
+      (* ...without wedging the pool for later batches. *)
+      let inputs = Array.init 9 Fun.id in
+      Alcotest.(check (array int)) "pool survives a failed batch"
+        (Array.map (fun x -> x + 1) inputs)
+        (Pool.map pool (fun x -> x + 1) inputs))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 () in
+  ignore (Pool.map pool succ [| 1; 2; 3 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (match Pool.submit pool ignore with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "submit after shutdown must raise")
+
+(* ------------------------------------------------------------------ *)
+(* Parallel serving                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let params = Params.test ()
+
+let area =
+  Coord.Rect.make ~min:(Coord.make ~x:0. ~y:0.)
+    ~max:(Coord.make ~x:3000. ~y:3000.)
+
+let pois =
+  List.init 9 (fun idx ->
+      let row = idx / 3 and col = idx mod 3 in
+      Poi.make ~id:idx
+        ~position:
+          (Coord.make
+             ~x:((float_of_int col *. 1000.) +. 150.)
+             ~y:((float_of_int row *. 1000.) +. 250.))
+        ~category:"cafe"
+        ~name:(Printf.sprintf "poi-%02d" idx))
+
+let core_server = Server.create params ~area pois
+let public = Server.public_info core_server
+
+let pir_z = function
+  | Serve.Pir_reply (Ok z) -> z
+  | Serve.Pir_reply (Error r) ->
+    Alcotest.failf "PIR rejected: %s" (Server.rejection_message r)
+  | Serve.Ot_reply _ -> Alcotest.fail "expected a PIR reply"
+
+let test_pool_matches_sequential () =
+  (* The ISSUE's determinism requirement: for the same query batch the
+     pooled server must return byte-identical PIR responses to the
+     sequential path, in the same order. *)
+  let serve = Serve.create core_server in
+  let rand = Drbg.rand (Drbg.create ~seed:"pool-determinism" ()) in
+  let cells = Params.private_cells params in
+  let states = ref [] in
+  let requests =
+    Array.init 10 (fun k ->
+        let st, (n, g) =
+          Gr.Client.query ~plan:public.Server.plan ~index:(k mod cells)
+            ~q_bits:params.Params.q_bits rand
+        in
+        states := st :: !states;
+        Serve.Pir_query { n; g })
+  in
+  let sequential = Serve.serve serve requests in
+  let pooled =
+    Pool.with_pool ~domains:3 (fun pool -> Serve.serve ~pool serve requests)
+  in
+  Array.iteri
+    (fun k seq ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reply %d byte-identical" k)
+        true
+        (Z.equal (pir_z seq) (pir_z pooled.(k))))
+    sequential;
+  (* And the replies are real: each decodes under its query state. *)
+  List.iteri
+    (fun k st ->
+      let reply = pir_z pooled.(Array.length pooled - 1 - k) in
+      ignore (Gr.Client.decode st reply))
+    !states
+
+let test_mixed_batch () =
+  (* OT and PIR requests interleaved through the pool: every OT reply
+     must still decode to the right credential (the DRBG is shared, so
+     only validity — not byte-equality — is guaranteed), and every PIR
+     reply must match a directly computed response. *)
+  let serve = Serve.create core_server in
+  let client = Client.create public in
+  let positions =
+    [| Coord.make ~x:100. ~y:100.; Coord.make ~x:1500. ~y:1500.;
+       Coord.make ~x:2900. ~y:400.; Coord.make ~x:600. ~y:2600. |]
+  in
+  let ot_states = Array.map (fun _ -> None) positions in
+  let rand = Drbg.rand (Drbg.create ~seed:"pool-mixed" ()) in
+  let pir_inputs =
+    Array.init 4 (fun k ->
+        let _, (n, g) =
+          Gr.Client.query ~plan:public.Server.plan ~index:k
+            ~q_bits:params.Params.q_bits rand
+        in
+        (n, g))
+  in
+  let requests =
+    Array.init 8 (fun k ->
+        if k mod 2 = 0 then begin
+          let idx = k / 2 in
+          let cell = Client.locate client positions.(idx) in
+          let st, q = Client.stage1_query client cell in
+          ot_states.(idx) <- Some st;
+          Serve.Ot_query q
+        end
+        else
+          let n, g = pir_inputs.(k / 2) in
+          Serve.Pir_query { n; g })
+  in
+  let replies =
+    Pool.with_pool ~domains:4 (fun pool -> Serve.serve ~pool serve requests)
+  in
+  Array.iteri
+    (fun k reply ->
+      if k mod 2 = 0 then begin
+        let idx = k / 2 in
+        match reply, ot_states.(idx) with
+        | Serve.Ot_reply (Ok resp), Some st ->
+          let cred = Client.stage1_decode client st resp in
+          Alcotest.(check string)
+            (Printf.sprintf "OT reply %d yields the right credential" idx)
+            (Server.trusted_cell_key core_server (Client.credential_idq cred))
+            (Client.credential_key cred)
+        | Serve.Ot_reply (Error r), _ ->
+          Alcotest.failf "OT rejected: %s" (Server.rejection_message r)
+        | _ -> Alcotest.fail "reply order scrambled"
+      end
+      else
+        let n, g = pir_inputs.(k / 2) in
+        Alcotest.(check bool)
+          (Printf.sprintf "PIR reply %d matches direct respond" (k / 2))
+          true
+          (Z.equal (pir_z reply) (Server.pir_respond core_server ~n ~g)))
+    replies
+
+let () =
+  Alcotest.run "lbq_pool"
+    [ ("pool",
+       [ Alcotest.test_case "map preserves order" `Quick test_map_order;
+         Alcotest.test_case "empty input and reuse" `Quick
+           test_map_empty_and_reuse;
+         Alcotest.test_case "exception propagation" `Quick test_map_exception;
+         Alcotest.test_case "shutdown idempotent" `Quick
+           test_shutdown_idempotent ]);
+      ("serve",
+       [ Alcotest.test_case "pool = sequential (PIR bytes)" `Quick
+           test_pool_matches_sequential;
+         Alcotest.test_case "mixed OT+PIR batch" `Quick test_mixed_batch ]) ]
