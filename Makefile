@@ -20,12 +20,13 @@ check:
 
 # Benchmarks run under the release profile (flambda-style optimisation,
 # no assertions stripped that matter here) so timings reflect deployment:
-# the transport fault sweep plus the stage-2 hot-path ablation that
-# emits BENCH_pir.json.
+# the transport fault sweep plus the stage-1 and stage-2 hot-path
+# ablations that emit BENCH_ot.json and BENCH_pir.json.
 bench:
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- faults 2
 	dune exec --profile release bench/main.exe -- pir 3
+	dune exec --profile release bench/main.exe -- ot 3
 
 clean:
 	dune clean

@@ -20,6 +20,11 @@
                      Barrett / sliding Barrett / Montgomery + cached
                      recoding), updated Table II closed-form assertion,
                      and queries/sec vs domain count; emits BENCH_pir.json
+     ot              Stage-1 hot path: comb/Straus respond vs the generic
+                     square-and-multiply reference (byte-identity and
+                     closed-form mult count asserted), grid-size sweep,
+                     and sieved vs generate-and-test semi-safe prime
+                     search; emits BENCH_ot.json
      micro           Bechamel micro-benchmarks of the hot primitives
      all             Everything above (default; reduced trial counts)
 
@@ -38,6 +43,7 @@ module Qr_pir = Lbq_qrpir.Qr_pir
 module Ghinita = Lbq_baseline.Ghinita
 module Counters = Lbq_metrics.Counters
 module Drbg = Lbq_crypto.Drbg
+module Primegen = Lbq_numth.Primegen
 
 (* ------------------------------------------------------------------ *)
 (* Small statistics / timing helpers                                    *)
@@ -859,6 +865,164 @@ let pir trials =
       speedup
 
 (* ------------------------------------------------------------------ *)
+(* OT hot path: comb/Straus engine ablation, sieved prime search        *)
+(* ------------------------------------------------------------------ *)
+
+(* Stage-1 server hot path at the paper's parameters (25x25 grid,
+   |p| = 1024, |q| = 160): wall time of one respond under the pre-PR
+   generic square-and-multiply path vs the comb/Straus engine, with the
+   closed-form multiplication count asserted against the measured
+   counter and byte-identity asserted under a fixed DRBG; a grid-size
+   sweep; and the sieved semi-safe prime search vs the seed-revision
+   generate-and-test loop (Miller-Rabin calls and wall time).  Emits
+   BENCH_ot.json. *)
+let ot trials =
+  Format.printf
+    "=== OT stage-1 hot path: comb/Straus engine & sieved prime search ===@.@.";
+  let group = Schnorr.paper_group () in
+  let drbg = Drbg.create ~seed:"bench-ot" () in
+  let rand = Drbg.rand drbg in
+  let n = 25 and m = 25 in
+  let payloads =
+    Array.init n (fun _ ->
+        Array.init m (fun _ -> Drbg.bytes drbg Server.payload_len))
+  in
+  let server = Ot.Server.init ~group ~rand payloads in
+  (* Correctness anchor before timing anything. *)
+  let st, q = Ot.Client.query ~group ~rand ~i:(n / 2) ~j:(m / 2) () in
+  let resp = Ot.Server.respond server q in
+  assert (
+    String.equal
+      (Ot.Client.decode st ~masked:(Ot.Server.masked_table server) resp)
+      payloads.(n / 2).(m / 2));
+  (* Byte-identity: fed the same DRBG stream, the engine and the seed
+     path must agree bit for bit. *)
+  let d1 = Drbg.create ~seed:"bench-ot-oracle" () in
+  let d2 = Drbg.create ~seed:"bench-ot-oracle" () in
+  let fast = Ot.Server.respond ~rand:(Drbg.rand d1) server q in
+  let slow = Ot.Server.respond_reference ~rand:(Drbg.rand d2) server q in
+  let same (u, v) (u', v') = Z.equal u u' && Z.equal v v' in
+  assert (Array.for_all2 same fast.Ot.rows slow.Ot.rows);
+  assert (Array.for_all2 same fast.Ot.cols slow.Ot.cols);
+  (* --- Ablation: wall time of one respond, engine vs reference. --- *)
+  let reps = max 2 (min trials 10) in
+  let sample f =
+    let acc = ref 0. in
+    for _ = 1 to reps do
+      let _, dt = time f in
+      acc := !acc +. dt
+    done;
+    !acc /. float_of_int reps
+  in
+  let t_ref = sample (fun () -> ignore (Ot.Server.respond_reference server q)) in
+  let t_new = sample (fun () -> ignore (Ot.Server.respond server q)) in
+  let speedup = t_ref /. t_new in
+  Format.printf
+    "  one respond at paper params (n = m = %d, |p| = %d, mean of %d):@." n
+    (Schnorr.p_bits group) reps;
+  Format.printf "    generic square-and-multiply (pre-PR): %8.4f s@." t_ref;
+  Format.printf "    comb + Straus + per-base tables:      %8.4f s  (%.2fx)@."
+    t_new speedup;
+  (* --- Closed-form multiplication count, asserted exactly. --- *)
+  let _, predicted, measured = Ot.Server.respond_counted server q in
+  Format.printf
+    "@.  closed form: predicted %d mults = measured %d (3n + 3m = %d exps)@."
+    predicted measured ((3 * n) + (3 * m));
+  assert (predicted = measured);
+  (* --- Grid-size sweep: both paths stay O(n + m). --- *)
+  Format.printf "@.  %-7s | %-14s | %-14s | %s@." "n=m" "reference (s)"
+    "engine (s)" "speedup";
+  Format.printf "  %s@." (String.make 55 '-');
+  let sweep =
+    List.map
+      (fun k ->
+        let payloads =
+          Array.init k (fun _ ->
+              Array.init k (fun _ -> Drbg.bytes drbg Server.payload_len))
+        in
+        let server = Ot.Server.init ~group ~rand payloads in
+        let _, q = Ot.Client.query ~group ~rand ~i:(k / 2) ~j:(k / 2) () in
+        let tr =
+          sample (fun () -> ignore (Ot.Server.respond_reference server q))
+        in
+        let tn = sample (fun () -> ignore (Ot.Server.respond server q)) in
+        Format.printf "  %-7d | %14.4f | %14.4f | %.2fx@." k tr tn (tr /. tn);
+        (k, tr, tn))
+      [ 10; 25; 40 ]
+  in
+  (* --- Sieved prime search vs the seed generate-and-test loop. --- *)
+  let pi = Z.pow (Z.of_int 3) 20 in
+  let q_bits = 128 in
+  let searches = max 2 (min trials 5) in
+  let run_search f =
+    let metrics = Counters.create () in
+    let acc = ref 0. in
+    for _ = 1 to searches do
+      let _, dt = time (fun () -> f metrics) in
+      acc := !acc +. dt
+    done;
+    ((!acc /. float_of_int searches), Counters.snapshot metrics)
+  in
+  let t_sieved, s_sieved =
+    run_search (fun metrics ->
+        ignore (Primegen.semi_safe ~metrics ~q_bits ~multiple:pi rand))
+  in
+  let t_seed, s_seed =
+    run_search (fun metrics ->
+        ignore (Primegen.semi_safe_reference ~metrics ~q_bits ~multiple:pi rand))
+  in
+  let per x = float_of_int x /. float_of_int searches in
+  Format.printf
+    "@.  semi-safe search (|q| = %d, multiple = 3^20, mean of %d searches):@."
+    q_bits searches;
+  Format.printf
+    "    seed loop:   %8.4f s, %7.1f candidates, %7.1f MR calls per search@."
+    t_seed
+    (per s_seed.Counters.prime_attempts)
+    (per s_seed.Counters.mr_calls);
+  Format.printf
+    "    sieved walk: %8.4f s, %7.1f candidates (%7.1f sieved out), %7.1f MR calls per search@."
+    t_sieved
+    (per s_sieved.Counters.prime_attempts)
+    (per s_sieved.Counters.sieve_rejects)
+    (per s_sieved.Counters.mr_calls);
+  let mr_ratio =
+    float_of_int s_seed.Counters.mr_calls
+    /. float_of_int (max 1 s_sieved.Counters.mr_calls)
+  in
+  Format.printf "    MR-call ratio (seed / sieved): %.2fx; wall %.2fx@."
+    mr_ratio (t_seed /. t_sieved);
+  let oc = open_out "BENCH_ot.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"params\": {\"rows\": %d, \"cols\": %d, \"p_bits\": %d, \"q_bits\": \
+     %d},\n\
+    \  \"respond\": {\"reference_s\": %.6f, \"engine_s\": %.6f, \"speedup\": \
+     %.3f, \"predicted_mults\": %d, \"measured_mults\": %d},\n\
+    \  \"grid_sweep\": [%s],\n\
+    \  \"prime_search\": {\"q_bits\": %d, \"searches\": %d, \"seed_s\": %.6f, \
+     \"sieved_s\": %.6f, \"seed_mr_calls\": %d, \"sieved_mr_calls\": %d, \
+     \"sieved_attempts\": %d, \"sieve_rejects\": %d, \"mr_ratio\": %.3f}\n\
+     }\n"
+    n m (Schnorr.p_bits group) (Schnorr.q_bits group) t_ref t_new speedup
+    predicted measured
+    (String.concat ", "
+       (List.map
+          (fun (k, tr, tn) ->
+            Printf.sprintf
+              "{\"n\": %d, \"reference_s\": %.6f, \"engine_s\": %.6f}" k tr tn)
+          sweep))
+    q_bits searches t_seed t_sieved s_seed.Counters.mr_calls
+    s_sieved.Counters.mr_calls s_sieved.Counters.prime_attempts
+    s_sieved.Counters.sieve_rejects mr_ratio;
+  close_out oc;
+  Format.printf "@.  Wrote BENCH_ot.json.@.@.";
+  if speedup < 1.5 then
+    Format.printf
+      "  WARNING: respond speedup %.2fx below the 1.5x acceptance bar.@.@."
+      speedup
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -933,6 +1097,7 @@ let () =
   | "comms" -> comms trials
   | "faults" -> faults trials
   | "pir" -> pir trials
+  | "ot" -> ot trials
   | "micro" -> micro trials
   | "all" ->
     table1 trials;
@@ -949,9 +1114,10 @@ let () =
     comms trials;
     faults (max 2 (trials / 2));
     pir (max 2 (trials / 2));
+    ot (max 2 (trials / 2));
     micro trials
   | other ->
     Format.eprintf
-      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, pir, micro, all)@."
+      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, pir, ot, micro, all)@."
       other;
     exit 2

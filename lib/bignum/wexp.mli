@@ -31,3 +31,64 @@ val cost : t -> int
 
 (** The exponent the schedule computes — replay oracle for tests. *)
 val to_exponent : t -> Z.t
+
+(** Multiplications to replay a schedule when the odd-powers table
+    already exists (fixed base): just the straight-line ops. *)
+val replay_cost : t -> int
+
+(** Multiplications to build an odd-powers table base^1, base^3, ...,
+    base^[max_odd]: 0 when [max_odd = 1], else [1 + (max_odd - 1) / 2]. *)
+val table_cost : max_odd:int -> int
+
+(** {2 Positioned windows (Straus/Shamir interleaving)} *)
+
+(** Decompose an exponent into disjoint sliding windows [(pos, v)] with
+    [v] odd and [e = sum v * 2^pos], ordered by descending [pos].  An
+    interleaved multi-exponentiation engine multiplies by [base^v] when
+    its shared squaring ladder reaches bit [pos]. *)
+val windows : ?width:int -> Nat.t -> (int * int) array
+
+(** Largest odd multiplier in a window decomposition. *)
+val windows_max_odd : (int * int) array -> int
+
+(** Exponent a window decomposition encodes — test oracle. *)
+val windows_to_exponent : (int * int) array -> Z.t
+
+(** Exact ladder multiplications of a two-stream interleaved
+    exponentiation (tables excluded): shared squarings from the higher
+    leading-window position down to bit 0, plus one multiplication per
+    window beyond the first. *)
+val straus_cost : (int * int) array -> (int * int) array -> int
+
+(** {2 Lim-Lee fixed-base combs} *)
+
+(** Comb geometry: [teeth] rows of [cols] columns covering exponents of
+    up to [bits = teeth * cols] bits. *)
+type comb = private { teeth : int; cols : int; bits : int }
+
+(** [make_comb ~bits ~teeth] sizes a comb for exponents of at most
+    [bits] bits.  Raises [Invalid_argument] unless [bits >= 1] and
+    [1 <= teeth <= 16]. *)
+val make_comb : bits:int -> teeth:int -> comb
+
+(** Default tooth count for a [bits]-bit exponent range (2^teeth table
+    entries vs ~bits/teeth squarings per exponentiation). *)
+val teeth_for : int -> int
+
+(** Column digits of an exponent under a comb, digit [j] packing bits
+    [j, j + cols, j + 2 cols, ...].  Raises [Invalid_argument] when the
+    exponent exceeds the comb's [bits]. *)
+val comb_digits : comb -> Nat.t -> int array
+
+(** Exponent a digit vector encodes — test oracle for [comb_digits]. *)
+val comb_to_exponent : comb -> int array -> Z.t
+
+(** Exact multiplications executing a comb exponentiation against a
+    prebuilt table: highest nonzero column index squarings plus one
+    multiplication per further nonzero digit; 0 for [e = 0]. *)
+val comb_cost : comb -> Nat.t -> int
+
+(** One-time multiplications to build a comb table for a base:
+    [(teeth - 1) * cols] squarings plus [2^teeth - 1 - teeth]
+    products. *)
+val comb_table_cost : comb -> int

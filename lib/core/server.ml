@@ -155,20 +155,23 @@ let pir_min_modulus_bits t =
   done;
   !min_pi + (2 * t.params.Params.q_bits) - 8
 
-(* Stage-1 message handler. *)
-let ot_respond t (q : Ot.query) : Ot.response = Ot.Server.respond t.ot q
+(* Stage-1 message handler.  [rand] substitutes the blinding-exponent
+   source for this response (per-request DRBG forking under parallel
+   serving); default is the server's own stream. *)
+let ot_respond ?rand t (q : Ot.query) : Ot.response =
+  Ot.Server.respond ?rand t.ot q
 
 (* Validated stage-1 handler: every ciphertext component must be a
    plausible field element — in (1, p).  Zero would collapse the
    ElGamal blinding; 1 and p-1 are the degenerate subgroup. *)
-let ot_respond_checked t (q : Ot.query) : (Ot.response, rejection) result =
+let ot_respond_checked ?rand t (q : Ot.query) : (Ot.response, rejection) result =
   let p = Lbq_group.Schnorr.p t.params.Params.group in
   let in_range x = Z.gt x Z.one && Z.lt x p in
   let components =
     [ q.Ot.c1.Lbq_group.Elgamal.a; q.Ot.c1.Lbq_group.Elgamal.b;
       q.Ot.c2.Lbq_group.Elgamal.a; q.Ot.c2.Lbq_group.Elgamal.b ]
   in
-  if List.for_all in_range components then Ok (Ot.Server.respond t.ot q)
+  if List.for_all in_range components then Ok (Ot.Server.respond ?rand t.ot q)
   else reject t (Ot_query_malformed "ciphertext element outside (1, p)")
 
 (* Stage-2 message handler, with the deployment-wide modulus bound as a

@@ -65,12 +65,15 @@ val pir_max_modulus_bits : t -> int
 
 val pir_min_modulus_bits : t -> int
 
-(** Stage-1 handler (Algorithm 2, server side). *)
-val ot_respond : t -> Ot.query -> Ot.response
+(** Stage-1 handler (Algorithm 2, server side).  [rand] substitutes the
+    blinding-exponent source for this response — per-request DRBG
+    forking under parallel serving; default is the server's stream. *)
+val ot_respond : ?rand:(int -> string) -> t -> Ot.query -> Ot.response
 
 (** Validated stage-1 handler: rejects ciphertext components outside
     (1, p). *)
-val ot_respond_checked : t -> Ot.query -> (Ot.response, rejection) result
+val ot_respond_checked :
+  ?rand:(int -> string) -> t -> Ot.query -> (Ot.response, rejection) result
 
 (** Stage-2 handler (Algorithm 3, server side): [g^e mod N]. *)
 val pir_respond : t -> n:Z.t -> g:Z.t -> Z.t

@@ -42,12 +42,12 @@ let decrypt sk (c : ciphertext) : Z.t =
   Schnorr.div group c.b (Schnorr.pow group c.a sk.x)
 
 (* Exponential flavour: message is an integer exponent (possibly negative,
-   as in the paper's query g^{-i} y^{r}). *)
+   as in the paper's query g^{-i} y^{r}).  b = g^m * y^r runs on one
+   Straus ladder instead of two full exponentiations. *)
 let encrypt_exp pk ~rand (m : Z.t) : ciphertext =
   let group = pk.group in
   let r = Z.random_unit ~bound:(Schnorr.q group) rand in
-  let gm = Schnorr.pow_g group (Z.erem m (Schnorr.q group)) in
-  { a = Schnorr.pow_g group r; b = Schnorr.mul group gm (Schnorr.pow group pk.y r) }
+  { a = Schnorr.pow_g group r; b = Schnorr.pow2_g group (Z.erem m (Schnorr.q group)) pk.y r }
 
 (* Decrypting the exponential flavour yields g^m; recovering m itself needs
    a discrete log and is only possible for small m. *)

@@ -11,6 +11,13 @@ type t = {
   q : Z.t;            (* subgroup order, prime, q | p - 1 *)
   g : Z.t;            (* generator of the order-q subgroup *)
   ctx : Barrett.t;    (* reduction context for p *)
+  g_comb : Barrett.fixed_base;
+    (* Lim-Lee comb table for g, sized for exponents < q: every
+       [pow_g] is ~q_bits/teeth squarings plus table lookups *)
+  g_tbl : Nat.t array;
+    (* odd-powers table g^1, g^3, ..., for the Straus g-stream of
+       [pow2_g] *)
+  g_width : int;      (* window width the cached tables cover *)
 }
 
 let p t = t.p
@@ -20,25 +27,134 @@ let ctx t = t.ctx
 
 let p_bits t = Z.numbits t.p
 let q_bits t = Z.numbits t.q
+let win_width t = t.g_width
 
 (* Group operations in the subgroup. *)
 let mul t a b = Barrett.mulmod t.ctx a b
 let pow t base_ e = Barrett.powm t.ctx base_ (Z.erem e t.q)
-let pow_g t e = pow t t.g e
 let inv t a = Z.invert a t.p
 let div t a b = mul t a (inv t b)
+
+(* Fixed-base fast path: all tables were built at group construction, so
+   one generator exponentiation is just a comb ladder. *)
+let pow_g t e =
+  Z.of_nat (Barrett.powm_fixed_base t.ctx t.g_comb (Z.to_nat (Z.erem e t.q)))
+
+(* Exact multiplication count of [pow_g t e] (closed-form oracle). *)
+let pow_g_cost t e =
+  Wexp.comb_cost (Barrett.fixed_base_comb t.g_comb) (Z.to_nat (Z.erem e t.q))
+
+(* g^e1 * b2^e2 on one Straus/Shamir ladder: the g-stream replays the
+   cached odd-powers table, the b2-stream builds its own.  Cost =
+   table build for b2 + one shared squaring ladder + window taps.  The
+   [_counted] form also returns the exact multiplication count (pure
+   window combinatorics — independent of the Barrett tick counter, so
+   the two can be asserted against each other). *)
+let pow2_g_counted t e1 b2 e2 =
+  let ws1 = Wexp.windows ~width:t.g_width (Z.to_nat (Z.erem e1 t.q)) in
+  let ws2 = Wexp.windows (Z.to_nat (Z.erem e2 t.q)) in
+  let max_odd2 = Wexp.windows_max_odd ws2 in
+  let tbl2 =
+    Barrett.odd_powers_nat t.ctx (Z.to_nat (Z.erem b2 t.p)) ~max_odd:max_odd2
+  in
+  ( Z.of_nat (Barrett.powm2_nat t.ctx t.g_tbl ws1 tbl2 ws2),
+    Wexp.table_cost ~max_odd:max_odd2 + Wexp.straus_cost ws1 ws2 )
+
+let pow2_g t e1 b2 e2 = fst (pow2_g_counted t e1 b2 e2)
+
+(* Exact multiplication count of [pow2_g t e1 _ e2]: the base b2 does
+   not affect the count, only its window stream's table. *)
+let pow2_g_cost t e1 e2 =
+  let ws1 = Wexp.windows ~width:t.g_width (Z.to_nat (Z.erem e1 t.q)) in
+  let ws2 = Wexp.windows (Z.to_nat (Z.erem e2 t.q)) in
+  Wexp.table_cost ~max_odd:(Wexp.windows_max_odd ws2)
+  + Wexp.straus_cost ws1 ws2
+
+(* Per-query fixed-base material: an odd-powers table for an arbitrary
+   group element reused across many exponentiations (the OT server
+   raises the SAME ciphertext component c.a to a fresh exponent on
+   every row of an axis). *)
+type base_tbl = { tbl : Nat.t array; bwidth : int }
+
+let base_tbl t b =
+  let w = t.g_width in
+  { tbl =
+      Barrett.odd_powers_nat t.ctx
+        (Z.to_nat (Z.erem b t.p))
+        ~max_odd:((1 lsl w) - 1);
+    bwidth = w;
+  }
+
+let pow_tbl_counted t bt e =
+  let s = Wexp.recode ~width:bt.bwidth (Z.to_nat (Z.erem e t.q)) in
+  (Z.of_nat (Barrett.powm_nat_tbl t.ctx bt.tbl s), Wexp.replay_cost s)
+
+let pow_tbl t bt e = fst (pow_tbl_counted t bt e)
+
+(* One-time multiplications of [base_tbl] (full table for the cached
+   window width). *)
+let base_tbl_cost t = Wexp.table_cost ~max_odd:((1 lsl t.g_width) - 1)
+
+(* Per-call multiplications of [pow_tbl] (table already paid for). *)
+let pow_tbl_cost t e =
+  Wexp.replay_cost (Wexp.recode ~width:t.g_width (Z.to_nat (Z.erem e t.q)))
+
+(* Heavier per-query fixed-base material: a full Lim-Lee comb for an
+   arbitrary group element, with the same geometry as the cached
+   generator comb (sized for exponents < q).  Costs more to build than
+   [base_tbl] but each exponentiation is ~q_bits/teeth squarings, so it
+   wins once the same base is raised to a handful of fresh exponents —
+   exactly the OT server's per-axis c.a. *)
+type base_comb = Barrett.fixed_base
+
+let base_comb t b =
+  Barrett.fixed_base t.ctx
+    (Z.to_nat (Z.erem b t.p))
+    (Barrett.fixed_base_comb t.g_comb)
+
+(* One-time multiplications of [base_comb] (comb table build). *)
+let base_comb_cost t =
+  Wexp.comb_table_cost (Barrett.fixed_base_comb t.g_comb)
+
+let pow_comb_counted t fb e =
+  let en = Z.to_nat (Z.erem e t.q) in
+  ( Z.of_nat (Barrett.powm_fixed_base t.ctx fb en),
+    Wexp.comb_cost (Barrett.fixed_base_comb fb) en )
+
+let pow_comb t fb e = fst (pow_comb_counted t fb e)
 
 (* Membership check: x in [1, p) and x^q = 1. *)
 let mem t x =
   Z.sign x > 0 && Z.lt x t.p && Z.equal (Barrett.powm t.ctx x t.q) Z.one
 
+(* Build the cached generator tables.  Eager (at group construction)
+   rather than lazy so group values can be shared across domains without
+   racy memoisation. *)
+let precompute ~p ~q ~g ctx =
+  let qb = Z.numbits q in
+  let comb = Wexp.make_comb ~bits:qb ~teeth:(Wexp.teeth_for qb) in
+  let g_nat = Z.to_nat g in
+  let w = Wexp.width_for qb in
+  {
+    p;
+    q;
+    g;
+    ctx;
+    g_comb = Barrett.fixed_base ctx g_nat comb;
+    g_tbl = Barrett.odd_powers_nat ctx g_nat ~max_odd:((1 lsl w) - 1);
+    g_width = w;
+  }
+
 let of_params ~p ~q ~g =
-  let t = { p; q; g; ctx = Barrett.create p } in
+  let ctx = Barrett.create p in
   if not (Z.is_zero (Z.erem (Z.pred p) q)) then
     invalid_arg "Schnorr.of_params: q does not divide p - 1";
-  if not (mem t g) || Z.equal g Z.one then
+  let mem_bare x =
+    Z.sign x > 0 && Z.lt x p && Z.equal (Barrett.powm ctx x q) Z.one
+  in
+  if not (mem_bare g) || Z.equal g Z.one then
     invalid_arg "Schnorr.of_params: g does not generate the order-q subgroup";
-  t
+  precompute ~p ~q ~g ctx
 
 (* Generate a fresh group: prime q, prime p = 2kq + 1, and g = a^((p-1)/q)
    for the first a making g <> 1 (the paper finds a generator a and sets
@@ -54,7 +170,7 @@ let generate ~p_bits ~q_bits rand =
     if Z.equal g Z.one then find_g () else g
   in
   let g = find_g () in
-  { p; q; g; ctx }
+  precompute ~p ~q ~g ctx
 
 (* Pre-generated parameter sets (produced by [generate] with this library;
    fixed so tests and benches do not pay generation cost, exactly as the

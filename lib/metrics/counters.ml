@@ -23,6 +23,9 @@ type t = {
   retries : int Atomic.t;       (* exchange attempts repeated after a fault *)
   drops : int Atomic.t;         (* frames lost or mangled in transit *)
   rejects : int Atomic.t;       (* requests refused by server validation *)
+  prime_attempts : int Atomic.t; (* prime-search candidates examined *)
+  sieve_rejects : int Atomic.t;  (* candidates killed by the small-prime wheel *)
+  mr_calls : int Atomic.t;       (* candidates that reached Miller-Rabin *)
 }
 
 (* Plain-integer view for readers (tests, bench, reporting). *)
@@ -36,6 +39,9 @@ type snapshot = {
   retries : int;
   drops : int;
   rejects : int;
+  prime_attempts : int;
+  sieve_rejects : int;
+  mr_calls : int;
 }
 
 let create () : t =
@@ -49,6 +55,9 @@ let create () : t =
     retries = Atomic.make 0;
     drops = Atomic.make 0;
     rejects = Atomic.make 0;
+    prime_attempts = Atomic.make 0;
+    sieve_rejects = Atomic.make 0;
+    mr_calls = Atomic.make 0;
   }
 
 (* A shared do-nothing sink for callers that don't measure.  The bump
@@ -68,6 +77,9 @@ let snapshot (t : t) : snapshot =
     retries = Atomic.get t.retries;
     drops = Atomic.get t.drops;
     rejects = Atomic.get t.rejects;
+    prime_attempts = Atomic.get t.prime_attempts;
+    sieve_rejects = Atomic.get t.sieve_rejects;
+    mr_calls = Atomic.get t.mr_calls;
   }
 
 let reset (t : t) =
@@ -79,7 +91,10 @@ let reset (t : t) =
   Atomic.set t.server_bytes 0;
   Atomic.set t.retries 0;
   Atomic.set t.drops 0;
-  Atomic.set t.rejects 0
+  Atomic.set t.rejects 0;
+  Atomic.set t.prime_attempts 0;
+  Atomic.set t.sieve_rejects 0;
+  Atomic.set t.mr_calls 0
 
 let copy (t : t) : t =
   let s = snapshot t in
@@ -93,6 +108,9 @@ let copy (t : t) : t =
     retries = Atomic.make s.retries;
     drops = Atomic.make s.drops;
     rejects = Atomic.make s.rejects;
+    prime_attempts = Atomic.make s.prime_attempts;
+    sieve_rejects = Atomic.make s.sieve_rejects;
+    mr_calls = Atomic.make s.mr_calls;
   }
 
 let bump (t : t) (cell : int Atomic.t) (n : int) =
@@ -107,11 +125,16 @@ let server_bytes (t : t) n = bump t t.server_bytes n
 let retries (t : t) n = bump t t.retries n
 let drops (t : t) n = bump t t.drops n
 let rejects (t : t) n = bump t t.rejects n
+let prime_attempts (t : t) n = bump t t.prime_attempts n
+let sieve_rejects (t : t) n = bump t t.sieve_rejects n
+let mr_calls (t : t) n = bump t t.mr_calls n
 
 let pp fmt (t : t) =
   let s = snapshot t in
   Format.fprintf fmt
     "@[user: %d exp, %d mult, %d B sent; server: %d exp, %d mult, %d B sent; \
-     transport: %d retries, %d drops, %d rejects@]"
+     transport: %d retries, %d drops, %d rejects; prime search: %d \
+     candidates, %d sieved out, %d MR-tested@]"
     s.user_exp s.user_mult s.user_bytes s.server_exp s.server_mult
-    s.server_bytes s.retries s.drops s.rejects
+    s.server_bytes s.retries s.drops s.rejects s.prime_attempts
+    s.sieve_rejects s.mr_calls

@@ -22,6 +22,9 @@ type snapshot = {
   retries : int;
   drops : int;
   rejects : int;
+  prime_attempts : int;
+  sieve_rejects : int;
+  mr_calls : int;
 }
 
 val create : unit -> t
@@ -43,6 +46,15 @@ val retries : t -> int -> unit
 
 val drops : t -> int -> unit
 val rejects : t -> int -> unit
+
+(** Prime-search counters (the Table IV query-setup cost): candidates
+    examined, candidates rejected by the incremental small-prime wheel
+    without any bignum arithmetic, and candidates that went on to a
+    Miller–Rabin test. *)
+val prime_attempts : t -> int -> unit
+
+val sieve_rejects : t -> int -> unit
+val mr_calls : t -> int -> unit
 
 val pp : Format.formatter -> t -> unit
 

@@ -23,6 +23,10 @@ val submit : t -> (unit -> unit) -> unit
     backtrace) once all jobs have finished, so the pool stays usable. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
+(** [map] with the input's index passed to [f] (per-request DRBG forks
+    are keyed on it). *)
+val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
 (** Drain outstanding jobs, then stop and join the workers.  Idempotent. *)
 val shutdown : t -> unit
 

@@ -5,15 +5,19 @@
    A PIR response is a pure function of the query and the fixed database
    exponent — every worker builds its own engine context — so stage-2
    queries run fully parallel and the batch is byte-identical to
-   sequential serving.  The OT responder draws blinding exponents from
-   the server's single DRBG stream, which is a plain closure; OT requests
-   therefore serialise on a lock.  That is the right trade: OT is cheap
-   stage-1 traffic, while stage-2 (|e| multiplications per query) is what
-   this pool exists to spread. *)
+   sequential serving.  OT responses need fresh blinding exponents; the
+   server's single DRBG stream is a plain closure, so instead of
+   serialising every OT request on a lock around it (the previous
+   design), each request gets its own child DRBG forked from a serve
+   seed by (batch, index).  Forking is order-independent within a
+   batch, so OT batches now parallelise across domains AND a pooled
+   batch is byte-identical to the same batch served sequentially. *)
 
 open Lbq_bignum
 module Server = Lbq_core.Server
+module Params = Lbq_core.Params
 module Ot = Lbq_ot.Ot
+module Drbg = Lbq_crypto.Drbg
 
 type request =
   | Ot_query of Ot.query
@@ -25,28 +29,52 @@ type reply =
 
 type t = {
   server : Server.t;
-  ot_lock : Mutex.t;  (* guards the server's shared DRBG *)
+  ot_base : Drbg.t;
+    (* parent of every per-request OT stream; [Drbg.split] reads only
+       its immutable key, so workers fork from it without a lock *)
+  batches : int Atomic.t;  (* batch-id dispenser *)
 }
 
-let create server = { server; ot_lock = Mutex.create () }
+(* [ot_seed] overrides the serve-level DRBG seed (tests); the default
+   derives it from the deployment seed, so the whole server — masking,
+   blinding, serving — replays from [Params.seed]. *)
+let create ?ot_seed server =
+  let seed =
+    match ot_seed with
+    | Some s -> s
+    | None -> (Server.params server).Params.seed
+  in
+  {
+    server;
+    ot_base = Drbg.create ~domain:"lbq-serve-ot" ~seed ();
+    batches = Atomic.make 0;
+  }
+
 let server t = t.server
 
-(* Answer one request; safe to call from any domain. *)
-let handle t = function
+(* Answer one request; safe to call from any domain.  The OT blinding
+   stream is determined by (serve seed, batch, index) alone. *)
+let handle_in_batch t ~batch ~index = function
   | Ot_query q ->
-    Mutex.lock t.ot_lock;
-    let r =
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.ot_lock)
-        (fun () -> Server.ot_respond_checked t.server q)
+    let child =
+      Drbg.split t.ot_base
+        ~label:("b" ^ string_of_int batch ^ "/r" ^ string_of_int index)
     in
-    Ot_reply r
+    Ot_reply (Server.ot_respond_checked ~rand:(Drbg.rand child) t.server q)
   | Pir_query { n; g } -> Pir_reply (Server.pir_respond_checked t.server ~n ~g)
 
+(* Answer one stand-alone request (its own one-element batch). *)
+let handle t req =
+  handle_in_batch t ~batch:(Atomic.fetch_and_add t.batches 1) ~index:0 req
+
 (* Answer a batch: concurrently on [pool] when given, sequentially
-   otherwise.  Replies come back in request order either way, and PIR
-   replies are identical in both modes (determinism test relies on it). *)
+   otherwise.  Replies come back in request order, and — because every
+   request's DRBG child depends only on its position, not on execution
+   order — the two modes are byte-identical for OT and PIR alike (the
+   determinism test relies on it). *)
 let serve ?pool t (requests : request array) : reply array =
+  let batch = Atomic.fetch_and_add t.batches 1 in
+  let f i req = handle_in_batch t ~batch ~index:i req in
   match pool with
-  | None -> Array.map (handle t) requests
-  | Some p -> Pool.map p (handle t) requests
+  | None -> Array.mapi f requests
+  | Some p -> Pool.mapi p f requests

@@ -1,10 +1,12 @@
 (** Parallel query serving over {!Lbq_core.Server} — §VI's "parallel
-    processing" remedy for stage-2 throughput.
+    processing" remedy for throughput.
 
-    PIR requests are pure and run fully concurrent on the {!Pool}; OT
-    requests serialise on an internal lock because the OT responder
-    consumes the server's single DRBG stream.  Replies preserve request
-    order, and PIR replies are byte-identical to sequential serving. *)
+    PIR requests are pure and run fully concurrent on the {!Pool}.  OT
+    requests no longer serialise on the server's single DRBG: each
+    request's blinding exponents come from a child DRBG forked by
+    (batch, index) from a serve-level seed, so OT batches parallelise
+    across domains and a pooled batch is byte-identical to the same
+    batch served sequentially.  Replies preserve request order. *)
 
 open Lbq_bignum
 module Server = Lbq_core.Server
@@ -20,11 +22,16 @@ type reply =
 
 type t
 
-val create : Server.t -> t
+(** [ot_seed] overrides the seed of the per-request OT DRBG forks
+    (tests); by default it derives from the deployment's
+    [Params.seed], so serving replays bit-for-bit with the rest of the
+    server. *)
+val create : ?ot_seed:string -> Server.t -> t
+
 val server : t -> Server.t
 
-(** Answer one request through the validated Core handlers; callable
-    from any domain. *)
+(** Answer one stand-alone request (its own one-element batch) through
+    the validated Core handlers; callable from any domain. *)
 val handle : t -> request -> reply
 
 (** Answer a batch, concurrently when a pool is given.  Replies are in

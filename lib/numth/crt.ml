@@ -3,10 +3,11 @@
 
 open Lbq_bignum
 
-(* [solve [(r1, m1); ...]] is the smallest non-negative x with
-   x = r_i (mod m_i) for all i.  Moduli must be pairwise coprime and > 1;
-   raises [Invalid_argument] otherwise. *)
-let solve (congruences : (Z.t * Z.t) list) : Z.t =
+(* Sequential fold: combine congruences left to right, the accumulated
+   modulus growing by one factor per step.  O(k) multiplications of an
+   ever-larger accumulator by a small modulus — quadratic limb work as
+   the cell count grows.  Kept as the oracle for [solve]. *)
+let solve_fold (congruences : (Z.t * Z.t) list) : Z.t =
   match congruences with
   | [] -> Z.zero
   | (r0, m0) :: rest ->
@@ -21,6 +22,39 @@ let solve (congruences : (Z.t * Z.t) list) : Z.t =
     in
     let x, _m = List.fold_left combine (Z.erem r0 m0, m0) rest in
     x
+
+(* Product-tree (divide-and-conquer) CRT: solve each half, then merge
+   the two half-solutions with one combine over the half-products.  The
+   big multiplications now pair operands of SIMILAR size, where the
+   subquadratic {!Nat.mul} (Karatsuba) actually bites, instead of the
+   fold's large-by-small products.  Validation is equivalent to the
+   fold's: each leaf checks its modulus > 1, and gcd(M_l, M_r) = 1 at a
+   node iff every cross pair of underlying moduli is coprime. *)
+let solve (congruences : (Z.t * Z.t) list) : Z.t =
+  match congruences with
+  | [] -> Z.zero
+  | _ ->
+    let a = Array.of_list congruences in
+    (* Solve the congruences in [lo, hi): returns (x, M) with
+       x = r_i (mod m_i) on that range, 0 <= x < M = prod m_i. *)
+    let rec go lo hi =
+      if hi - lo = 1 then begin
+        let r, m = a.(lo) in
+        if Z.leq m Z.one then invalid_arg "Crt.solve: modulus <= 1";
+        (Z.erem r m, m)
+      end
+      else begin
+        let mid = (lo + hi) / 2 in
+        let xl, ml = go lo mid in
+        let xr, mr = go mid hi in
+        if not (Z.equal (Z.gcd ml mr) Z.one) then
+          invalid_arg "Crt.solve: moduli not coprime";
+        (* x = xl + ml * t with t = (xr - xl) / ml  (mod mr) *)
+        let t = Z.erem (Z.mul (Z.sub xr xl) (Z.invert ml mr)) mr in
+        (Z.add xl (Z.mul ml t), Z.mul ml mr)
+      end
+    in
+    fst (go 0 (Array.length a))
 
 (* Verification helper: does [x] satisfy every congruence? *)
 let check (x : Z.t) (congruences : (Z.t * Z.t) list) : bool =

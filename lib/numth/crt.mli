@@ -3,9 +3,16 @@
 open Lbq_bignum
 
 (** [solve [(r1, m1); ...]] is the smallest non-negative [x] with
-    [x = r_i (mod m_i)] for every pair.  Raises [Invalid_argument] when
-    moduli are not pairwise coprime or some modulus is [<= 1]. *)
+    [x = r_i (mod m_i)] for every pair, by product-tree (divide and
+    conquer) combination — balanced half-size multiplications that keep
+    Karatsuba effective as the congruence count grows.  Raises
+    [Invalid_argument] when moduli are not pairwise coprime or some
+    modulus is [<= 1]. *)
 val solve : (Z.t * Z.t) list -> Z.t
+
+(** The sequential left-fold combination (quadratic in the congruence
+    count): oracle and ablation baseline for {!solve}. *)
+val solve_fold : (Z.t * Z.t) list -> Z.t
 
 (** Does [x] satisfy every congruence? *)
 val check : Z.t -> (Z.t * Z.t) list -> bool

@@ -52,16 +52,24 @@ let trial_division n =
   go small_primes
 
 (* Main entry.  [rand] supplies bytes for random bases; [rounds] is the
-   number of random Miller–Rabin rounds above the deterministic range. *)
-let test ?(rounds = 24) ?rand (n : Z.t) : result =
+   number of random Miller–Rabin rounds above the deterministic range.
+   [trial:false] skips the trial-division pass — for candidates that a
+   sieved search (see {!Primegen}) has already cleared of small factors,
+   where re-dividing by every small prime would repeat work the wheel
+   did with int arithmetic.  [metrics] ticks [Counters.mr_calls] once
+   per candidate that actually reaches a Miller–Rabin exponentiation,
+   so sieved and generate-and-test searches are measured identically. *)
+let test ?(rounds = 24) ?(trial = true) ?(metrics = Lbq_metrics.Counters.null)
+    ?rand (n : Z.t) : result =
   if Z.sign n <= 0 then Composite
   else if Z.lt n Z.two then Composite
   else if Z.equal n Z.two then Prime
   else if Z.is_even n then Composite
   else begin
-    match trial_division n with
+    match (if trial then trial_division n else Probably_prime) with
     | (Prime | Composite) as r -> r
     | Probably_prime ->
+      Lbq_metrics.Counters.mr_calls metrics 1;
       (* n has survived trial division by 2, so it is odd. *)
       let ctx = Montgomery.create n in
       let d, s = decompose n in
@@ -91,8 +99,8 @@ let test ?(rounds = 24) ?rand (n : Z.t) : result =
       end
   end
 
-let is_prime ?rounds ?rand n =
-  match test ?rounds ?rand n with
+let is_prime ?rounds ?trial ?metrics ?rand n =
+  match test ?rounds ?trial ?metrics ?rand n with
   | Prime | Probably_prime -> true
   | Composite -> false
 

@@ -9,11 +9,26 @@ type result = Prime | Composite | Probably_prime
 
 (** Full test.  [rand] is required for candidates above the deterministic
     range; [rounds] random Miller–Rabin rounds are then used (default 24,
-    error probability <= 4{^-24}). *)
-val test : ?rounds:int -> ?rand:(int -> string) -> Z.t -> result
+    error probability <= 4{^-24}).  [trial:false] skips the leading
+    trial-division pass — for candidates a sieved search has already
+    cleared of small factors.  [metrics] ticks [Counters.mr_calls] once
+    per candidate reaching a Miller–Rabin exponentiation. *)
+val test :
+  ?rounds:int ->
+  ?trial:bool ->
+  ?metrics:Lbq_metrics.Counters.t ->
+  ?rand:(int -> string) ->
+  Z.t ->
+  result
 
 (** [is_prime n] treats [Probably_prime] as prime. *)
-val is_prime : ?rounds:int -> ?rand:(int -> string) -> Z.t -> bool
+val is_prime :
+  ?rounds:int ->
+  ?trial:bool ->
+  ?metrics:Lbq_metrics.Counters.t ->
+  ?rand:(int -> string) ->
+  Z.t ->
+  bool
 
 (** One Fermat check with an explicit base (paper mentions the Fermat test
     as an alternative for the semi-safe prime search). *)

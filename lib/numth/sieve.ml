@@ -34,6 +34,49 @@ let first_primes ?(from = 2) (k : int) : int list =
     collect (max 64 (16 * k))
   end
 
+(* ------------------------------------------------------------------ *)
+(* Incremental wheel: residues of a moving candidate.                  *)
+(* ------------------------------------------------------------------ *)
+
+(* For a prime search that walks candidates c, c + d, c + 2d, ... the
+   residue of the candidate modulo each small prime is computed ONCE
+   (one bignum division per prime, at the start) and then updated by
+   int additions as the candidate advances — composites are rejected
+   with no bignum arithmetic at all.  The caller supplies the initial
+   residue and the per-advance increment modulo each prime, so the same
+   wheel serves strides of 2 (odd candidates) or 2*q (Schnorr moduli
+   p = 2kq + 1) alike. *)
+type wheel = {
+  wprimes : int array;  (* the sieving primes *)
+  wstep : int array;    (* per-advance increment mod each prime *)
+  wres : int array;     (* current candidate mod each prime *)
+}
+
+let wheel_make ~primes ~residue ~step : wheel =
+  let wprimes = Array.of_list primes in
+  Array.iter
+    (fun p -> if p < 2 then invalid_arg "Sieve.wheel_make: prime < 2")
+    wprimes;
+  let wres = Array.map (fun p -> ((residue p) mod p + p) mod p) wprimes in
+  let wstep = Array.map (fun p -> ((step p) mod p + p) mod p) wprimes in
+  { wprimes; wstep; wres }
+
+(* Advance the candidate by one stride. *)
+let wheel_advance w =
+  for i = 0 to Array.length w.wres - 1 do
+    let r = w.wres.(i) + w.wstep.(i) in
+    let p = w.wprimes.(i) in
+    w.wres.(i) <- (if r >= p then r - p else r)
+  done
+
+(* Does some sieving prime divide the current candidate?  (The caller
+   must ensure every sieving prime is strictly below the smallest
+   candidate, so divisibility really means compositeness.) *)
+let wheel_divisible w =
+  let n = Array.length w.wres in
+  let rec go i = i < n && (w.wres.(i) = 0 || go (i + 1)) in
+  go 0
+
 let is_small_prime (n : int) : bool =
   if n < 2 then false
   else begin

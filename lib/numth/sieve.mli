@@ -9,3 +9,26 @@ val first_primes : ?from:int -> int -> int list
 
 (** Trial-division primality for machine ints (testing helper). *)
 val is_small_prime : int -> bool
+
+(** {2 Incremental wheel}
+
+    Residues of a moving candidate modulo a set of small primes, updated
+    by int additions as the candidate advances — an incremental prime
+    search rejects composites without any bignum division. *)
+
+type wheel
+
+(** [wheel_make ~primes ~residue ~step]: [residue p] is the initial
+    candidate mod [p]; [step p] is the per-advance increment mod [p].
+    Both are normalised into [0, p).  Raises [Invalid_argument] on a
+    prime < 2. *)
+val wheel_make :
+  primes:int list -> residue:(int -> int) -> step:(int -> int) -> wheel
+
+(** Advance the candidate by one stride. *)
+val wheel_advance : wheel -> unit
+
+(** Whether some sieving prime divides the current candidate.  Only
+    meaningful when every sieving prime is strictly below the smallest
+    candidate the walk can visit. *)
+val wheel_divisible : wheel -> bool

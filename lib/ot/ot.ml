@@ -20,22 +20,33 @@ module Counters = Lbq_metrics.Counters
 (* ------------------------------------------------------------------ *)
 
 (* H(K_{i,j}) with K = g^{R_i} ‖ g^{C_j}, both fixed-width big-endian.
-   SHA-1 (as in the paper) expanded MGF1-style for payloads over 20 B. *)
+   SHA-1 (as in the paper) expanded MGF1-style for payloads over 20 B.
+   One preimage buffer K ‖ ctr is reused across blocks with the 4-byte
+   counter patched in place — masking an n x m table hashes n*m cells,
+   and the old per-block [k ^ ctr_bytes] concatenation allocated two
+   fresh strings per 20 output bytes. *)
 let derive_mask ~element_len ~(w1 : Z.t) ~(w2 : Z.t) ~len : string =
-  let k =
-    Z.to_bytes_be_padded w1 ~len:element_len
-    ^ Z.to_bytes_be_padded w2 ~len:element_len
-  in
-  let buf = Buffer.create len in
+  let kl = 2 * element_len in
+  let msg = Bytes.create (kl + 4) in
+  Bytes.blit_string (Z.to_bytes_be_padded w1 ~len:element_len) 0 msg 0 element_len;
+  Bytes.blit_string
+    (Z.to_bytes_be_padded w2 ~len:element_len)
+    0 msg element_len element_len;
+  let out = Bytes.create len in
+  let off = ref 0 in
   let ctr = ref 0 in
-  while Buffer.length buf < len do
-    let ctr_bytes =
-      String.init 4 (fun i -> Char.chr ((!ctr lsr ((3 - i) * 8)) land 0xff))
-    in
-    Buffer.add_string buf (Lbq_crypto.Sha1.digest (k ^ ctr_bytes));
+  while !off < len do
+    Bytes.set msg kl (Char.chr ((!ctr lsr 24) land 0xff));
+    Bytes.set msg (kl + 1) (Char.chr ((!ctr lsr 16) land 0xff));
+    Bytes.set msg (kl + 2) (Char.chr ((!ctr lsr 8) land 0xff));
+    Bytes.set msg (kl + 3) (Char.chr (!ctr land 0xff));
+    let d = Lbq_crypto.Sha1.digest (Bytes.unsafe_to_string msg) in
+    let n = min (String.length d) (len - !off) in
+    Bytes.blit_string d 0 out !off n;
+    off := !off + n;
     incr ctr
   done;
-  String.sub (Buffer.contents buf) 0 len
+  Bytes.unsafe_to_string out
 
 (* ------------------------------------------------------------------ *)
 (* Message types                                                        *)
@@ -131,26 +142,114 @@ module Server = struct
 
      Every ciphertext element is checked for subgroup membership first:
      accepting values of unknown order would let a malicious user move
-     the blinding factors into a small subgroup and strip them. *)
-  let respond t (q : query) : response =
+     the blinding factors into a small subgroup and strip them.
+
+     The arithmetic is organised around three fixed-base facts:
+     - A1 is the same base for every alpha of an axis: one per-axis
+       fixed-base precomputation serves all k rows' u = A1^{r_a}.  For
+       short axes (k < 3) that is an odd-powers table
+       ([Schnorr.base_tbl]); from k = 3 up the heavier Lim-Lee comb
+       ([Schnorr.base_comb]) amortises its build and each row costs
+       only ~q_bits/teeth squarings;
+     - g^alpha * B1 is a running product (one group multiplication per
+       row) rather than a fresh exponentiation;
+     - v = g^{R_alpha} * shifted^{r_a} runs both exponents on a single
+       Straus ladder ([Schnorr.pow2_g]), the g stream replaying the
+       group's cached table.
+     [predicted] accumulates the closed-form multiplication count of
+     exactly these operations (window/comb combinatorics, no Barrett
+     ticks) so benches can assert it against the measured counter. *)
+  let check_membership t (q : query) =
     let group = t.group in
     let check c =
       if not (Schnorr.mem group c.Elgamal.a && Schnorr.mem group c.Elgamal.b)
       then invalid_arg "Ot.Server.respond: query element outside the subgroup"
     in
     check q.c1;
-    check q.c2;
+    check q.c2
+
+  let answer_axis t rand predicted (c : Elgamal.ciphertext) exps k =
+    let group = t.group in
     let qord = Schnorr.q group in
+    let pow_a, setup_cost =
+      if k >= 3 then (
+        let fb = Schnorr.base_comb group c.Elgamal.a in
+        ( (fun e -> Schnorr.pow_comb_counted group fb e),
+          Schnorr.base_comb_cost group ))
+      else (
+        let bt = Schnorr.base_tbl group c.Elgamal.a in
+        ( (fun e -> Schnorr.pow_tbl_counted group bt e),
+          Schnorr.base_tbl_cost group ))
+    in
+    predicted := !predicted + setup_cost;
+    let shifted = ref c.Elgamal.b in
+    let out = Array.make k (Z.zero, Z.zero) in
+    for alpha = 0 to k - 1 do
+      if alpha > 0 then begin
+        shifted := Schnorr.mul group (Schnorr.g group) !shifted;
+        incr predicted
+      end;
+      let r_a = Z.random_unit ~bound:qord rand in
+      let u, cu = pow_a r_a in
+      let v, cv = Schnorr.pow2_g_counted group exps.(alpha) !shifted r_a in
+      predicted := !predicted + cu + cv;
+      Counters.server_exp t.metrics 3;
+      out.(alpha) <- (u, v)
+    done;
+    out
+
+  let respond_with ?rand t (q : query) : response * int =
+    check_membership t q;
+    let rand = Option.value rand ~default:t.rand in
+    let predicted = ref 0 in
+    let rows = answer_axis t rand predicted q.c1 t.r_exps t.rows in
+    let cols = answer_axis t rand predicted q.c2 t.c_exps t.cols in
+    let resp = { rows; cols } in
+    Counters.server_bytes t.metrics (response_bytes t.group resp);
+    (resp, !predicted)
+
+  let respond ?rand t (q : query) : response = fst (respond_with ?rand t q)
+
+  (* [respond] plus its cost cross-check: the closed-form predicted
+     multiplication count and the count the Barrett context actually
+     ticked over the answer arithmetic (membership checks excluded).
+     Attaches a counter to the group's shared context — call it from
+     single-threaded benches and tests only. *)
+  let respond_counted ?rand t (q : query) : response * int * int =
+    check_membership t q;
+    let rand = Option.value rand ~default:t.rand in
+    let predicted = ref 0 in
+    let measured = ref 0 in
+    let resp =
+      Barrett.counting (Schnorr.ctx t.group) measured (fun () ->
+          let rows = answer_axis t rand predicted q.c1 t.r_exps t.rows in
+          let cols = answer_axis t rand predicted q.c2 t.c_exps t.cols in
+          { rows; cols })
+    in
+    Counters.server_bytes t.metrics (response_bytes t.group resp);
+    (resp, !predicted, !measured)
+
+  (* The seed-revision answer path, verbatim: generic square-and-multiply
+     for all three per-row exponentiations (g through [Schnorr.pow], not
+     the comb, to preserve the seed's cost profile).  Byte-identity
+     oracle for [respond] under a fixed DRBG, and the `bench ot`
+     baseline. *)
+  let respond_reference ?rand t (q : query) : response =
+    check_membership t q;
+    let rand = Option.value rand ~default:t.rand in
+    let group = t.group in
+    let qord = Schnorr.q group in
+    let gen = Schnorr.g group in
     let answer_axis (c : Elgamal.ciphertext) exps k =
       Array.init k (fun alpha ->
-          let r_a = Z.random_unit ~bound:qord t.rand in
+          let r_a = Z.random_unit ~bound:qord rand in
           let u = Schnorr.pow group c.Elgamal.a r_a in
           let shifted =
-            Schnorr.mul group (Schnorr.pow_g group (Z.of_int alpha)) c.Elgamal.b
+            Schnorr.mul group (Schnorr.pow group gen (Z.of_int alpha)) c.Elgamal.b
           in
           let v =
             Schnorr.mul group
-              (Schnorr.pow_g group exps.(alpha))
+              (Schnorr.pow group gen exps.(alpha))
               (Schnorr.pow group shifted r_a)
           in
           Counters.server_exp t.metrics 3;

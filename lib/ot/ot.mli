@@ -53,8 +53,28 @@ module Server : sig
   val masked_table_bytes : t -> int
 
   (** Algorithm 2, server side: 3 exponentiations per row plus 3 per
-      column (the Table I server cost 3n + 3m). *)
-  val respond : t -> query -> response
+      column (the Table I server cost 3n + 3m), executed through the
+      stage-1 engine — per-axis fixed-base comb (or odd-powers table on
+      short axes) for A^{r_a}, a running
+      product for g^alpha * B, and one Straus ladder for
+      g^{R_alpha} * shifted^{r_a}.  [rand] overrides the server's DRBG
+      for this response (per-request forking under parallel serving;
+      deterministic given the substitute). *)
+  val respond : ?rand:(int -> string) -> t -> query -> response
+
+  (** [respond] plus [(predicted, measured)]: the closed-form
+      multiplication count of the engine's schedule and the count the
+      Barrett context ticked over the answer arithmetic (membership
+      checks excluded).  The two are equal by construction; benches
+      assert it.  Attaches a counter to the group's shared context —
+      single-threaded callers only. *)
+  val respond_counted :
+    ?rand:(int -> string) -> t -> query -> response * int * int
+
+  (** The seed-revision generic square-and-multiply path, kept verbatim:
+      byte-identity oracle for [respond] under a fixed DRBG and the
+      [bench ot] ablation baseline. *)
+  val respond_reference : ?rand:(int -> string) -> t -> query -> response
 end
 
 module Client : sig

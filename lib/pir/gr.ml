@@ -170,9 +170,9 @@ module Client = struct
      why the user query dominates Table IV. *)
   let query ?(metrics = Counters.null) ~plan ~index ~q_bits rand : state * (Z.t * Z.t) =
     let slot = plan_slot plan index in
-    let _q0, qq0 = Primegen.semi_safe ~q_bits ~multiple:slot.pi rand in
+    let _q0, qq0 = Primegen.semi_safe ~metrics ~q_bits ~multiple:slot.pi rand in
     let rec distinct_q1 () =
-      let q1, qq1 = Primegen.semi_safe ~q_bits ~multiple:Z.one rand in
+      let q1, qq1 = Primegen.semi_safe ~metrics ~q_bits ~multiple:Z.one rand in
       if Z.equal qq1 qq0 then distinct_q1 () else q1, qq1
     in
     let _q1, qq1 = distinct_q1 () in

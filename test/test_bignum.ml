@@ -208,6 +208,55 @@ let test_wexp_edges () =
         [ 1; 7; 26; 27; 100 ])
     [ 1; 2; 3; 4; 5; 6; 7 ]
 
+let test_comb_straus_edges () =
+  let m = Z.of_string "100000000000000000763" in
+  let ctx = Barrett.create m in
+  let qlike = Z.pred m in
+  (* Edge exponents 0, 1, 2^k, and a q-1 analogue, across tooth counts. *)
+  List.iter
+    (fun teeth ->
+      let comb = Wexp.make_comb ~bits:(Z.numbits qlike) ~teeth in
+      let fb = Barrett.fixed_base ctx (Z.to_nat (Z.of_int 3)) comb in
+      List.iter
+        (fun e ->
+          let en = Z.to_nat e in
+          Alcotest.check z
+            (Printf.sprintf "comb digits replay t=%d" teeth)
+            e
+            (Wexp.comb_to_exponent comb (Wexp.comb_digits comb en));
+          Alcotest.check z
+            (Printf.sprintf "comb powm t=%d" teeth)
+            (Z.mod_pow_naive (Z.of_int 3) e m)
+            (Z.of_nat (Barrett.powm_fixed_base ctx fb en));
+          (* Measured engine multiplications match the closed form. *)
+          let r = ref 0 in
+          ignore (Barrett.counting ctx r (fun () -> Barrett.powm_fixed_base ctx fb en));
+          Alcotest.(check int)
+            (Printf.sprintf "comb cost t=%d" teeth)
+            (Wexp.comb_cost comb en) !r)
+        [ Z.zero; Z.one; Z.two; Z.pow Z.two 26; Z.succ (Z.pow Z.two 40); qlike ];
+      (* Table build cost, measured. *)
+      let r = ref 0 in
+      ignore
+        (Barrett.counting ctx r (fun () ->
+             Barrett.fixed_base ctx (Z.to_nat (Z.of_int 5)) comb));
+      Alcotest.(check int)
+        (Printf.sprintf "comb table cost t=%d" teeth)
+        (Wexp.comb_table_cost comb) !r)
+    [ 1; 2; 3; 5; 8 ];
+  (* Straus two-stream edges, including zero streams on either side. *)
+  List.iter
+    (fun (e1, e2) ->
+      let expect =
+        Z.erem
+          (Z.mul (Z.mod_pow_naive (Z.of_int 3) e1 m) (Z.mod_pow_naive (Z.of_int 7) e2 m))
+          m
+      in
+      Alcotest.check z "powm2 edge" expect
+        (Barrett.powm2 ctx (Z.of_int 3) e1 (Z.of_int 7) e2))
+    [ (Z.zero, Z.zero); (Z.zero, qlike); (qlike, Z.zero); (Z.one, Z.one);
+      (qlike, qlike); (Z.one, qlike) ]
+
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -331,6 +380,109 @@ let props =
         let e = Z.abs e in
         let ctx = Barrett.create m in
         Z.equal (Barrett.powm_fixed4 ctx b_ e) (Barrett.powm ctx b_ e));
+    prop "comb digits replay the exponent" 300
+      (QCheck.make QCheck.Gen.(pair gen_big (int_range 1 10)))
+      (fun (e, teeth) ->
+        let e = Z.abs e in
+        let comb = Wexp.make_comb ~bits:(max 1 (Z.numbits e)) ~teeth in
+        Z.equal e
+          (Wexp.comb_to_exponent comb (Wexp.comb_digits comb (Z.to_nat e))));
+    prop "fixed-base comb powm = naive" 60
+      (QCheck.make
+         QCheck.Gen.(quad gen_big gen_big gen_big (int_range 1 8)))
+      (fun (b_, e, m, teeth) ->
+        QCheck.assume (Z.gt m Z.one);
+        let e = Z.abs e in
+        let ctx = Barrett.create m in
+        let comb = Wexp.make_comb ~bits:(max 1 (Z.numbits e)) ~teeth in
+        let fb = Barrett.fixed_base ctx (Z.to_nat b_) comb in
+        Z.equal
+          (Z.of_nat (Barrett.powm_fixed_base ctx fb (Z.to_nat e)))
+          (Z.mod_pow_naive b_ e m));
+    prop "comb engine cost = closed form" 100
+      (QCheck.make QCheck.Gen.(pair gen_big (int_range 1 8)))
+      (fun (e, teeth) ->
+        let m = Z.of_string "100000000000000000763" in
+        let ctx = Barrett.create m in
+        let e = Z.abs e in
+        let comb = Wexp.make_comb ~bits:(max 1 (Z.numbits e)) ~teeth in
+        let r = ref 0 in
+        let fb =
+          Barrett.counting ctx r (fun () ->
+              Barrett.fixed_base ctx (Z.to_nat (Z.of_int 3)) comb)
+        in
+        let build_ok = !r = Wexp.comb_table_cost comb in
+        let r = ref 0 in
+        ignore
+          (Barrett.counting ctx r (fun () ->
+               Barrett.powm_fixed_base ctx fb (Z.to_nat e)));
+        build_ok && !r = Wexp.comb_cost comb (Z.to_nat e));
+    prop "windows replay the exponent" 300
+      (QCheck.make QCheck.Gen.(pair gen_big (int_range 1 7)))
+      (fun (e, width) ->
+        let e = Z.abs e in
+        Z.equal e
+          (Wexp.windows_to_exponent (Wexp.windows ~width (Z.to_nat e))));
+    prop "straus powm2 = two naive powms" 60
+      (QCheck.make
+         QCheck.Gen.(
+           pair (triple gen_big gen_big gen_big) (pair gen_big gen_big)))
+      (fun ((b1, e1, m), (b2, e2)) ->
+        QCheck.assume (Z.gt m Z.one);
+        let e1 = Z.abs e1 and e2 = Z.abs e2 in
+        let ctx = Barrett.create m in
+        Z.equal
+          (Barrett.powm2 ctx b1 e1 b2 e2)
+          (Z.erem
+             (Z.mul (Z.mod_pow_naive b1 e1 m) (Z.mod_pow_naive b2 e2 m))
+             m));
+    prop "straus ladder cost = closed form" 60
+      (QCheck.make QCheck.Gen.(triple gen_big gen_big gen_big))
+      (fun (b1, e1, e2) ->
+        let m = Z.of_string "100000000000000000763" in
+        let ctx = Barrett.create m in
+        let b2 = Z.succ b1 in
+        let e1 = Z.abs e1 and e2 = Z.abs e2 in
+        let ws1 = Wexp.windows (Z.to_nat e1)
+        and ws2 = Wexp.windows (Z.to_nat e2) in
+        let table b ws =
+          let mo = Wexp.windows_max_odd ws in
+          let r = ref 0 in
+          let tbl =
+            Barrett.counting ctx r (fun () ->
+                Barrett.odd_powers_nat ctx (Z.to_nat b) ~max_odd:mo)
+          in
+          (tbl, !r = Wexp.table_cost ~max_odd:mo)
+        in
+        let tbl1, ok1 = table b1 ws1 in
+        let tbl2, ok2 = table b2 ws2 in
+        let r = ref 0 in
+        let v =
+          Barrett.counting ctx r (fun () ->
+              Barrett.powm2_nat ctx tbl1 ws1 tbl2 ws2)
+        in
+        ok1 && ok2
+        && !r = Wexp.straus_cost ws1 ws2
+        && Z.equal (Z.of_nat v)
+             (Z.erem
+                (Z.mul (Z.mod_pow_naive b1 e1 m) (Z.mod_pow_naive b2 e2 m))
+                m));
+    prop "table replay = sliding powm" 60
+      (QCheck.make QCheck.Gen.(pair gen_big gen_big))
+      (fun (b_, e) ->
+        let m = Z.of_string "100000000000000000763" in
+        let ctx = Barrett.create m in
+        let e = Z.abs e in
+        let s = Wexp.recode (Z.to_nat e) in
+        let tbl =
+          Barrett.odd_powers_nat ctx (Z.to_nat b_) ~max_odd:s.Wexp.max_odd
+        in
+        let r = ref 0 in
+        let v =
+          Barrett.counting ctx r (fun () -> Barrett.powm_nat_tbl ctx tbl s)
+        in
+        !r = Wexp.replay_cost s
+        && Z.equal (Z.of_nat v) (Z.mod_pow_naive b_ e m));
     prop "barrett = montgomery on odd moduli" 60
       (QCheck.make QCheck.Gen.(triple gen_big gen_big gen_big))
       (fun (b_, e, m) ->
@@ -375,5 +527,6 @@ let () =
          Alcotest.test_case "numbits" `Quick test_numbits;
          Alcotest.test_case "barrett basic" `Quick test_barrett_basic;
          Alcotest.test_case "sqr shapes" `Quick test_sqr_shapes;
-         Alcotest.test_case "wexp edges" `Quick test_wexp_edges ]);
+         Alcotest.test_case "wexp edges" `Quick test_wexp_edges;
+         Alcotest.test_case "comb/straus edges" `Quick test_comb_straus_edges ]);
       ("properties", props) ]

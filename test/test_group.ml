@@ -58,6 +58,99 @@ let test_pow_reduces_exponent () =
     (Schnorr.pow_g grp e)
     (Schnorr.pow_g grp (Z.add e (Schnorr.q grp)))
 
+let test_stage1_engine () =
+  (* Comb pow_g vs the generic ladder at the edge exponents and a few
+     random ones, plus the Straus and per-base-table paths. *)
+  let q = Schnorr.q grp in
+  let gen = Schnorr.g grp in
+  let exps =
+    [ Z.zero; Z.one; Z.two; Z.pred q; Z.pred (Z.pred q);
+      Z.random_below ~bound:q rand; Z.random_below ~bound:q rand ]
+  in
+  List.iter
+    (fun e ->
+      Alcotest.check z
+        ("comb = generic for " ^ Z.to_string e)
+        (Schnorr.pow grp gen e) (Schnorr.pow_g grp e))
+    exps;
+  (* pow2_g against the product of two independent exponentiations. *)
+  let b2 = Schnorr.pow_g grp (Z.of_int 777) in
+  List.iter
+    (fun e1 ->
+      List.iter
+        (fun e2 ->
+          Alcotest.check z "pow2_g = pow_g * pow"
+            (Schnorr.mul grp (Schnorr.pow_g grp e1) (Schnorr.pow grp b2 e2))
+            (Schnorr.pow2_g grp e1 b2 e2))
+        [ Z.zero; Z.one; Z.pred q ])
+    [ Z.zero; Z.one; Z.pred q ];
+  (* Cached base table: same results as pow, advertised costs exact. *)
+  let bt = Schnorr.base_tbl grp b2 in
+  List.iter
+    (fun e ->
+      Alcotest.check z "pow_tbl = pow" (Schnorr.pow grp b2 e)
+        (Schnorr.pow_tbl grp bt e))
+    exps;
+  (* Per-base comb: same results as pow on the same edge exponents. *)
+  let fb = Schnorr.base_comb grp b2 in
+  List.iter
+    (fun e ->
+      Alcotest.check z "pow_comb = pow" (Schnorr.pow grp b2 e)
+        (Schnorr.pow_comb grp fb e))
+    exps
+
+let test_stage1_costs_measured () =
+  (* The closed-form cost oracles must match the engine's real
+     multiplication count tick for tick. *)
+  let ctx = Schnorr.ctx grp in
+  let q = Schnorr.q grp in
+  let b2 = Schnorr.pow_g grp (Z.of_int 31337) in
+  List.iter
+    (fun e ->
+      let r = ref 0 in
+      ignore (Barrett.counting ctx r (fun () -> Schnorr.pow_g grp e));
+      Alcotest.(check int)
+        ("pow_g cost for " ^ Z.to_string e)
+        (Schnorr.pow_g_cost grp e) !r)
+    [ Z.zero; Z.one; Z.pred q; Z.random_below ~bound:q rand ];
+  List.iter
+    (fun (e1, e2) ->
+      let r = ref 0 in
+      let v, predicted =
+        Barrett.counting ctx r (fun () -> Schnorr.pow2_g_counted grp e1 b2 e2)
+      in
+      Alcotest.(check int) "pow2_g predicted = measured" predicted !r;
+      Alcotest.(check int) "pow2_g_cost agrees"
+        (Schnorr.pow2_g_cost grp e1 e2) predicted;
+      Alcotest.check z "counted value" (Schnorr.pow2_g grp e1 b2 e2) v)
+    [ (Z.zero, Z.zero); (Z.one, Z.pred q);
+      (Z.random_below ~bound:q rand, Z.random_below ~bound:q rand) ];
+  let r = ref 0 in
+  let bt = Barrett.counting ctx r (fun () -> Schnorr.base_tbl grp b2) in
+  Alcotest.(check int) "base_tbl cost" (Schnorr.base_tbl_cost grp) !r;
+  List.iter
+    (fun e ->
+      let r = ref 0 in
+      let v, c =
+        Barrett.counting ctx r (fun () -> Schnorr.pow_tbl_counted grp bt e)
+      in
+      Alcotest.(check int) "pow_tbl predicted = measured" c !r;
+      Alcotest.(check int) "pow_tbl_cost agrees" (Schnorr.pow_tbl_cost grp e) c;
+      Alcotest.check z "pow_tbl counted value" (Schnorr.pow grp b2 e) v)
+    [ Z.zero; Z.one; Z.pred q; Z.random_below ~bound:q rand ];
+  let r = ref 0 in
+  let fb = Barrett.counting ctx r (fun () -> Schnorr.base_comb grp b2) in
+  Alcotest.(check int) "base_comb cost" (Schnorr.base_comb_cost grp) !r;
+  List.iter
+    (fun e ->
+      let r = ref 0 in
+      let v, c =
+        Barrett.counting ctx r (fun () -> Schnorr.pow_comb_counted grp fb e)
+      in
+      Alcotest.(check int) "pow_comb predicted = measured" c !r;
+      Alcotest.check z "pow_comb counted value" (Schnorr.pow grp b2 e) v)
+    [ Z.zero; Z.one; Z.pred q; Z.random_below ~bound:q rand ]
+
 let test_of_params_validation () =
   Alcotest.check_raises "bad q"
     (Invalid_argument "Schnorr.of_params: q does not divide p - 1")
@@ -205,6 +298,8 @@ let () =
          Alcotest.test_case "fixed p prime" `Slow test_fixed_p_prime;
          Alcotest.test_case "group laws" `Quick test_group_laws;
          Alcotest.test_case "pow reduces exponent" `Quick test_pow_reduces_exponent;
+         Alcotest.test_case "stage-1 engine" `Quick test_stage1_engine;
+         Alcotest.test_case "stage-1 costs measured" `Quick test_stage1_costs_measured;
          Alcotest.test_case "of_params validation" `Quick test_of_params_validation;
          Alcotest.test_case "generate small" `Quick test_generate_small ]);
       ("elgamal",

@@ -85,6 +85,48 @@ let test_semi_safe () =
   (* phi(Q) = Q - 1 = 2*q*pi, hence pi | phi(Q). *)
   Alcotest.check z "pi divides phi" Z.zero (Z.erem (Z.pred qq) pi)
 
+module Counters = Lbq_metrics.Counters
+
+let test_sieved_search_funnel () =
+  (* Every candidate the sieved search examines is either killed by the
+     wheel (no bignum arithmetic) or reaches exactly one Miller-Rabin
+     test: the counters must account for all of them. *)
+  let metrics = Counters.create () in
+  let p = Primegen.random_prime ~metrics ~bits:96 rand in
+  Alcotest.(check bool) "prime" true (Primality.is_prime ~rand p);
+  let s = Counters.snapshot metrics in
+  Alcotest.(check bool) "attempts > 0" true (s.Counters.prime_attempts > 0);
+  Alcotest.(check int) "attempts = sieved + MR-tested"
+    s.Counters.prime_attempts
+    (s.Counters.sieve_rejects + s.Counters.mr_calls);
+  (* Joint q/Q walk: a survivor costs one MR for q and at most one more
+     for Q, so mr_calls lands in [survivors, 2 * survivors]. *)
+  let metrics = Counters.create () in
+  let q, qq = Primegen.semi_safe ~metrics ~q_bits:40 ~multiple:(Z.of_int 9) rand in
+  Alcotest.(check bool) "q prime" true (Primality.is_prime ~rand q);
+  Alcotest.(check bool) "Q prime" true (Primality.is_prime ~rand qq);
+  let s = Counters.snapshot metrics in
+  let survivors = s.Counters.prime_attempts - s.Counters.sieve_rejects in
+  Alcotest.(check bool) "survivors > 0" true (survivors > 0);
+  Alcotest.(check bool) "mr_calls within joint-walk bounds" true
+    (s.Counters.mr_calls >= survivors && s.Counters.mr_calls <= 2 * survivors)
+
+let test_reference_loops_still_work () =
+  (* The seed-revision generate-and-test loops stay alive as bench
+     baselines; they must still produce valid primes and tick the
+     attempt counter. *)
+  let metrics = Counters.create () in
+  let p = Primegen.random_prime_reference ~metrics ~bits:64 rand in
+  Alcotest.(check int) "width" 64 (Z.numbits p);
+  Alcotest.(check bool) "prime" true (Primality.is_prime ~rand p);
+  Alcotest.(check bool) "attempts ticked" true
+    ((Counters.snapshot metrics).Counters.prime_attempts > 0);
+  let q, qq = Primegen.semi_safe_reference ~q_bits:32 ~multiple:(Z.of_int 243) rand in
+  Alcotest.(check bool) "q prime" true (Primality.is_prime ~rand q);
+  Alcotest.(check bool) "Q prime" true (Primality.is_prime ~rand qq);
+  Alcotest.check z "structure" qq
+    (Z.succ (Z.shift_left (Z.mul q (Z.of_int 243)) 1))
+
 let test_schnorr_modulus () =
   let q = Primegen.random_prime ~bits:32 rand in
   let k, p = Primegen.schnorr_modulus ~p_bits:96 ~q rand in
@@ -431,6 +473,23 @@ let props =
         in
         let sol = Crt.solve congruences in
         Crt.check sol congruences);
+    prop "crt product tree = sequential fold" 100
+      (QCheck.make
+         QCheck.Gen.(
+           triple (int_range 0 1000000000) (int_range 0 40) (int_range 1 12)))
+      (fun (x, start, k) ->
+        (* distinct primes raised to small powers: pairwise coprime,
+           uneven sizes so the tree splits are non-trivial *)
+        let ps = Sieve.first_primes ~from:(3 + (2 * start)) k in
+        let moduli =
+          List.mapi (fun i p -> Z.pow (Z.of_int p) (1 + (i mod 3))) ps
+        in
+        let congruences =
+          List.map (fun m -> (Z.erem (Z.of_int x) m, m)) moduli
+        in
+        let tree = Crt.solve congruences in
+        Z.equal tree (Crt.solve_fold congruences)
+        && Crt.check tree congruences);
     prop "jacobi multiplicative in numerator" 200
       (QCheck.make
          QCheck.Gen.(triple (int_range 0 5000) (int_range 0 5000)
@@ -472,6 +531,9 @@ let () =
          Alcotest.test_case "known big primes" `Quick test_known_big_primes;
          Alcotest.test_case "primegen widths" `Quick test_primegen;
          Alcotest.test_case "semi-safe primes" `Quick test_semi_safe;
+         Alcotest.test_case "sieved search funnel" `Quick test_sieved_search_funnel;
+         Alcotest.test_case "reference loops still work" `Quick
+           test_reference_loops_still_work;
          Alcotest.test_case "schnorr modulus" `Quick test_schnorr_modulus ]);
       ("crt",
        [ Alcotest.test_case "paper example (App. B)" `Quick test_crt_paper_example;

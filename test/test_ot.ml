@@ -185,6 +185,55 @@ let test_ot_invalid_inputs () =
       ignore (Ot.Client.query ~group:grp ~rand ~i:(-1) ~j:0 ()))
 
 (* ------------------------------------------------------------------ *)
+(* Stage-1 engine: fast respond vs the seed-revision reference          *)
+(* ------------------------------------------------------------------ *)
+
+let check_responses_equal name (r1 : Ot.response) (r2 : Ot.response) =
+  let zz = Alcotest.pair z z in
+  Alcotest.check (Alcotest.array zz) (name ^ " rows") r1.Ot.rows r2.Ot.rows;
+  Alcotest.check (Alcotest.array zz) (name ^ " cols") r1.Ot.cols r2.Ot.cols
+
+let test_ot_respond_matches_reference () =
+  (* Fed the same DRBG stream, the comb/Straus engine and the verbatim
+     seed path must produce byte-identical responses: the optimisation
+     changes the arithmetic, never the algebra or the randomness. *)
+  let server = make_server ~rows:5 ~cols:3 () in
+  for trial = 0 to 2 do
+    let _, q = Ot.Client.query ~group:grp ~rand ~i:(trial mod 5) ~j:trial () in
+    let seed = Printf.sprintf "respond-oracle-%d" trial in
+    let d1 = Drbg.create ~seed () and d2 = Drbg.create ~seed () in
+    let fast = Ot.Server.respond ~rand:(Drbg.rand d1) server q in
+    let slow = Ot.Server.respond_reference ~rand:(Drbg.rand d2) server q in
+    check_responses_equal (Printf.sprintf "trial %d" trial) fast slow
+  done
+
+let test_ot_respond_predicted_equals_measured () =
+  let server = make_server ~rows:6 ~cols:4 () in
+  let _, q = Ot.Client.query ~group:grp ~rand ~i:2 ~j:1 () in
+  let resp, predicted, measured = Ot.Server.respond_counted server q in
+  Alcotest.(check int) "predicted = measured" predicted measured;
+  Alcotest.(check bool) "some work happened" true (predicted > 0);
+  Alcotest.(check int) "rows" 6 (Array.length resp.Ot.rows);
+  Alcotest.(check int) "cols" 4 (Array.length resp.Ot.cols)
+
+let test_derive_mask_pinned () =
+  (* Regression pin for the single-buffer mask derivation: these bytes
+     were produced by the pre-optimisation per-block concatenation path
+     and must never change (every masked table depends on them). *)
+  let hex s =
+    String.concat "" (List.map (Printf.sprintf "%02x")
+                        (List.map Char.code (List.init (String.length s)
+                                               (String.get s))))
+  in
+  let m =
+    Ot.derive_mask ~element_len:8 ~w1:(Z.of_int 1031) ~w2:(Z.of_int 247)
+      ~len:48
+  in
+  Alcotest.(check string) "pinned mask bytes"
+    "d98a5765f6855e2faa2c16038a1a13fe3814d9d22c9c58d77c6bb2984edc3e134fcc726b22fe2cf94d7fdfa329e139f5"
+    (hex m)
+
+(* ------------------------------------------------------------------ *)
 (* Input validation (hardening)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -297,6 +346,13 @@ let () =
          Alcotest.test_case "query randomised" `Quick test_ot_query_randomised;
          Alcotest.test_case "metrics match table I" `Quick test_ot_metrics_match_table1;
          Alcotest.test_case "invalid inputs" `Quick test_ot_invalid_inputs ]);
+      ("stage-1 engine",
+       [ Alcotest.test_case "respond = reference under fixed DRBG" `Quick
+           test_ot_respond_matches_reference;
+         Alcotest.test_case "predicted mults = measured" `Quick
+           test_ot_respond_predicted_equals_measured;
+         Alcotest.test_case "derive_mask pinned bytes" `Quick
+           test_derive_mask_pinned ]);
       ("hardening",
        [ Alcotest.test_case "rejects non-subgroup query" `Quick
            test_ot_rejects_non_subgroup_query ]);

@@ -10,6 +10,7 @@ module Pool = Lbq_net.Pool
 module Serve = Lbq_net.Serve
 module Gr = Lbq_pir.Gr
 module Drbg = Lbq_crypto.Drbg
+module Ot = Lbq_ot.Ot
 
 (* ------------------------------------------------------------------ *)
 (* Pool mechanics                                                       *)
@@ -134,11 +135,73 @@ let test_pool_matches_sequential () =
       ignore (Gr.Client.decode st reply))
     !states
 
+let ot_resp = function
+  | Serve.Ot_reply (Ok r) -> r
+  | Serve.Ot_reply (Error r) ->
+    Alcotest.failf "OT rejected: %s" (Server.rejection_message r)
+  | Serve.Pir_reply _ -> Alcotest.fail "expected an OT reply"
+
+let ot_responses_equal (a : Ot.response) (b : Ot.response) =
+  let pairs_equal x y =
+    Array.length x = Array.length y
+    && Array.for_all2 (fun (u, v) (u', v') -> Z.equal u u' && Z.equal v v') x y
+  in
+  pairs_equal a.Ot.rows b.Ot.rows && pairs_equal a.Ot.cols b.Ot.cols
+
+let test_ot_pool_matches_sequential () =
+  (* OT blinding exponents come from per-request DRBG forks keyed by
+     (serve seed, batch, index), so a pooled batch must be byte-identical
+     to the same batch served sequentially from a fresh instance with the
+     same seed — no matter which domain answered which request. *)
+  let client = Client.create public in
+  let positions =
+    [| Coord.make ~x:100. ~y:100.; Coord.make ~x:1500. ~y:1500.;
+       Coord.make ~x:2900. ~y:400.; Coord.make ~x:600. ~y:2600.;
+       Coord.make ~x:2200. ~y:2200.; Coord.make ~x:400. ~y:1700. |]
+  in
+  let states_and_requests =
+    Array.map
+      (fun pos ->
+        let st, q = Client.stage1_query client (Client.locate client pos) in
+        (st, Serve.Ot_query q))
+      positions
+  in
+  let requests = Array.map snd states_and_requests in
+  let serve_a = Serve.create ~ot_seed:"ot-pool-oracle" core_server in
+  let serve_b = Serve.create ~ot_seed:"ot-pool-oracle" core_server in
+  let sequential = Serve.serve serve_a requests in
+  let pooled =
+    Pool.with_pool ~domains:3 (fun pool -> Serve.serve ~pool serve_b requests)
+  in
+  Array.iteri
+    (fun k seq ->
+      Alcotest.(check bool)
+        (Printf.sprintf "OT reply %d byte-identical" k)
+        true
+        (ot_responses_equal (ot_resp seq) (ot_resp pooled.(k))))
+    sequential;
+  (* The replies are real: each decodes to the right cell key. *)
+  Array.iteri
+    (fun k reply ->
+      let st, _ = states_and_requests.(k) in
+      let cred = Client.stage1_decode client st (ot_resp reply) in
+      Alcotest.(check string)
+        (Printf.sprintf "pooled OT reply %d decodes" k)
+        (Server.trusted_cell_key core_server (Client.credential_idq cred))
+        (Client.credential_key cred))
+    pooled;
+  (* A second batch on the same instance draws a fresh batch id, hence
+     fresh blinding: responses must NOT repeat. *)
+  let again = Serve.serve serve_a requests in
+  Alcotest.(check bool) "blinding is fresh across batches" false
+    (ot_responses_equal (ot_resp sequential.(0)) (ot_resp again.(0)))
+
 let test_mixed_batch () =
   (* OT and PIR requests interleaved through the pool: every OT reply
-     must still decode to the right credential (the DRBG is shared, so
-     only validity — not byte-equality — is guaranteed), and every PIR
-     reply must match a directly computed response. *)
+     must decode to the right credential — blinding comes from the
+     request's own (batch, index) DRBG fork, independent of worker
+     scheduling — and every PIR reply must match a directly computed
+     response. *)
   let serve = Serve.create core_server in
   let client = Client.create public in
   let positions =
@@ -206,4 +269,6 @@ let () =
       ("serve",
        [ Alcotest.test_case "pool = sequential (PIR bytes)" `Quick
            test_pool_matches_sequential;
+         Alcotest.test_case "pool = sequential (OT bytes)" `Quick
+           test_ot_pool_matches_sequential;
          Alcotest.test_case "mixed OT+PIR batch" `Quick test_mixed_batch ]) ]
