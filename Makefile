@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-quick clean
 
 all: build
 
@@ -10,23 +10,30 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate plus a one-trial fault-injection smoke run: builds
-# everything, runs the full test suite, and drives one retried round per
-# link profile and fault rate through the Chaos fault model.
+# Tiny-parameter smoke of every JSON-emitting bench suite
+# (faults/pir/ot/keypool): same code paths and assertions as the full
+# suites, toy sizes, BENCH_*.quick.json artifacts.
+bench-quick:
+	dune exec bench/main.exe -- quick 1
+
+# The tier-1 gate plus the bench smoke: builds everything, runs the full
+# test suite, and drives every bench suite once at toy parameters.
 check:
 	dune build @all
 	dune runtest
-	dune exec bench/main.exe -- faults 1
+	$(MAKE) bench-quick
 
 # Benchmarks run under the release profile (flambda-style optimisation,
 # no assertions stripped that matter here) so timings reflect deployment:
-# the transport fault sweep plus the stage-1 and stage-2 hot-path
-# ablations that emit BENCH_ot.json and BENCH_pir.json.
+# the transport fault sweep plus the stage-1, stage-2 and offline/online
+# hot-path suites that emit BENCH_ot.json, BENCH_pir.json and
+# BENCH_keypool.json.
 bench:
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- faults 2
 	dune exec --profile release bench/main.exe -- pir 3
 	dune exec --profile release bench/main.exe -- ot 3
+	dune exec --profile release bench/main.exe -- keypool 3
 
 clean:
 	dune clean

@@ -1,0 +1,100 @@
+(* Shared JSON emitter for the BENCH_*.json artifacts.
+
+   One value type, one pretty-printer, one file writer — every bench
+   suite (ot / pir / faults / keypool) builds a [t] and calls [write]
+   instead of hand-rolling Printf format strings.  [gc_fields] is the
+   standard allocation-pressure block every artifact carries. *)
+
+module Counters = Lbq_metrics.Counters
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_str f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.9g" f in
+    (* "1." and "1e5" are valid OCaml floats but not valid JSON ones. *)
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then s
+    else s ^ ".0"
+
+let rec emit buf ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_str f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        emit buf ~indent:(indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\": ";
+        emit buf ~indent:(indent + 2) item)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  emit buf ~indent:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write ~path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc
+
+(* The allocation-pressure block carried by every BENCH_*.json row:
+   words allocated on the minor / major heap (and promoted) while the
+   measured section ran, from {!Counters.gc_delta}. *)
+let gc_fields (d : Counters.gc_words) =
+  [ "gc_minor_words", Float d.Counters.minor_words;
+    "gc_major_words", Float d.Counters.major_words;
+    "gc_promoted_words", Float d.Counters.promoted_words ]

@@ -1,0 +1,23 @@
+(** Shared JSON emitter for the BENCH_*.json artifacts. *)
+
+module Counters = Lbq_metrics.Counters
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Pretty-printed (2-space indented) JSON with a trailing newline.
+    Non-finite floats render as [null]. *)
+val to_string : t -> string
+
+(** [write ~path v] truncates [path] and writes [to_string v]. *)
+val write : path:string -> t -> unit
+
+(** The standard allocation-pressure fields ([gc_minor_words],
+    [gc_major_words], [gc_promoted_words]) for one measured section. *)
+val gc_fields : Counters.gc_words -> (string * t) list

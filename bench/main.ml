@@ -25,6 +25,14 @@
                      closed-form mult count asserted), grid-size sweep,
                      and sieved vs generate-and-test semi-safe prime
                      search; emits BENCH_ot.json
+     keypool         Offline/online split: cold inline stage-2 query vs
+                     warm pool take (>= 20x asserted), pooled-refill
+                     byte-identity vs the sequential reference, prewarm
+                     time vs pool size x worker count, and e2e rounds
+                     with/without the pool; emits BENCH_keypool.json
+     quick           Tiny-parameter smoke of every JSON-emitting suite
+                     (faults/pir/ot/keypool); same code paths, toy
+                     sizes, BENCH_*.quick.json artifacts (make check)
      micro           Bechamel micro-benchmarks of the hot primitives
      all             Everything above (default; reduced trial counts)
 
@@ -44,6 +52,8 @@ module Ghinita = Lbq_baseline.Ghinita
 module Counters = Lbq_metrics.Counters
 module Drbg = Lbq_crypto.Drbg
 module Primegen = Lbq_numth.Primegen
+module Keypool = Lbq_cache.Keypool
+module J = Json_out
 
 (* ------------------------------------------------------------------ *)
 (* Small statistics / timing helpers                                    *)
@@ -647,7 +657,8 @@ let comms _trials =
    per (link profile x fault rate p) report mean round latency, wire
    bytes (retries included) and retries per round.  The same data is
    emitted machine-readably as BENCH_faults.json. *)
-let faults trials =
+let faults ?(out = "BENCH_faults.json") ?(rates = [ 0.; 0.01; 0.05; 0.1 ])
+    trials =
   let open Lbq_net in
   Format.printf
     "=== Fault sweep: round latency / bytes / retries vs fault rate (%d trials) ===@.@."
@@ -668,7 +679,6 @@ let faults trials =
   in
   let server = Server.create params ~area pois in
   let info = Server.public_info server in
-  let rates = [ 0.; 0.01; 0.05; 0.1 ] in
   let policy = Retry.default in
   let rows = ref [] in
   Format.printf "  %-10s | %-6s | %-12s | %-10s | %-9s | %s@." "link" "p"
@@ -678,6 +688,7 @@ let faults trials =
     (fun link ->
       List.iter
         (fun p ->
+          let gc0 = Counters.gc_words () in
           let lat = ref 0. and bytes = ref 0 and retries = ref 0 in
           let completed = ref 0 in
           for t = 0 to trials - 1 do
@@ -710,20 +721,18 @@ let faults trials =
           Format.printf "  %-10s | %-6.2f | %12.3f | %10.0f | %9.2f | %d/%d@."
             (Link.name link) p mlat mbytes mretries !completed trials;
           rows :=
-            Printf.sprintf
-              "  {\"link\": %S, \"p\": %g, \"trials\": %d, \"completed\": %d, \
-               \"latency_s\": %.6f, \"bytes\": %.1f, \"retries\": %.3f}"
-              (Link.name link) p trials !completed mlat mbytes mretries
+            J.Obj
+              ([ "link", J.Str (Link.name link); "p", J.Float p;
+                 "trials", J.Int trials; "completed", J.Int !completed;
+                 "latency_s", J.Float mlat; "bytes", J.Float mbytes;
+                 "retries", J.Float mretries ]
+               @ J.gc_fields (Counters.gc_delta ~since:gc0))
             :: !rows)
         rates)
     Link.profiles;
-  let oc = open_out "BENCH_faults.json" in
-  output_string oc "[\n";
-  output_string oc (String.concat ",\n" (List.rev !rows));
-  output_string oc "\n]\n";
-  close_out oc;
+  J.write ~path:out (J.List (List.rev !rows));
   Format.printf
-    "@.  Wrote BENCH_faults.json.  Latency grows with p through retries@.";
+    "@.  Wrote %s.  Latency grows with p through retries@." out;
   Format.printf
     "  (timeout + capped exponential backoff); bytes grow with the extra@.";
   Format.printf
@@ -740,13 +749,14 @@ let faults trials =
    updated Table II closed form asserted against the measured multiply
    counter; and queries/sec vs domain count on the worker pool.  Emits
    BENCH_pir.json. *)
-let pir trials =
+let pir ?(out = "BENCH_pir.json") ?(count = 225) ?(block_bits = 1024)
+    ?(q_bits = 128) trials =
   let open Lbq_net in
   Format.printf
     "=== PIR stage-2 hot path: engine ablation & domain scaling ===@.@.";
+  let gc0 = Counters.gc_words () in
   let drbg = Drbg.create ~seed:"bench-pir" () in
   let rand = Drbg.rand drbg in
-  let count = 225 and block_bits = 1024 and q_bits = 128 in
   let plan = Gr.make_plan ~count ~block_bits () in
   let records =
     Array.init count (fun i ->
@@ -756,7 +766,7 @@ let pir trials =
   let server = Gr.Server.create ~metrics plan records in
   let e = Gr.Server.e server in
   let ebits = Gr.Server.e_bits server in
-  let index = 112 in
+  let index = count / 2 in
   let st, (n, g) = Gr.Client.query ~plan ~index ~q_bits rand in
   (* Correctness anchor before timing anything. *)
   let ge = Gr.Server.respond server ~n ~g in
@@ -838,27 +848,33 @@ let pir trials =
     cores;
   Format.printf
     "  on one core the pool only adds scheduling overhead, by design.@.";
-  let oc = open_out "BENCH_pir.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"params\": {\"records\": %d, \"block_bits\": %d, \"q_bits\": %d, \
-     \"e_bits\": %d, \"n_bits\": %d},\n\
-    \  \"ablation\": {\"barrett_fixed4_s\": %.6f, \"barrett_sliding_s\": %.6f, \
-     \"montgomery_sched_s\": %.6f, \"speedup_vs_fixed4\": %.3f},\n\
-    \  \"closed_form\": {\"width\": %d, \"measured_mults\": %d, \
-     \"predicted_mults\": %d, \"bound\": %d},\n\
-    \  \"scaling\": {\"queries\": %d, \"sequential_qps\": %.4f%s},\n\
-    \  \"cores\": %d\n\
-     }\n"
-    count block_bits q_bits ebits (Z.numbits n) t_old t_slide t_mont speedup w
-    measured predicted bound nq seq_qps
-    (String.concat ""
-       (List.map
-          (fun (d, qps) -> Printf.sprintf ", \"domains_%d_qps\": %.4f" d qps)
-          scaling))
-    cores;
-  close_out oc;
-  Format.printf "@.  Wrote BENCH_pir.json.@.@.";
+  J.write ~path:out
+    (J.Obj
+       ([ ( "params",
+            J.Obj
+              [ "records", J.Int count; "block_bits", J.Int block_bits;
+                "q_bits", J.Int q_bits; "e_bits", J.Int ebits;
+                "n_bits", J.Int (Z.numbits n) ] );
+          ( "ablation",
+            J.Obj
+              [ "barrett_fixed4_s", J.Float t_old;
+                "barrett_sliding_s", J.Float t_slide;
+                "montgomery_sched_s", J.Float t_mont;
+                "speedup_vs_fixed4", J.Float speedup ] );
+          ( "closed_form",
+            J.Obj
+              [ "width", J.Int w; "measured_mults", J.Int measured;
+                "predicted_mults", J.Int predicted; "bound", J.Int bound ] );
+          ( "scaling",
+            J.Obj
+              ([ "queries", J.Int nq; "sequential_qps", J.Float seq_qps ]
+               @ List.map
+                   (fun (d, qps) ->
+                     (Printf.sprintf "domains_%d_qps" d, J.Float qps))
+                   scaling) );
+          "cores", J.Int cores ]
+        @ J.gc_fields (Counters.gc_delta ~since:gc0)));
+  Format.printf "@.  Wrote %s.@.@." out;
   if speedup < 1.5 then
     Format.printf
       "  WARNING: respond speedup %.2fx below the 1.5x acceptance bar.@.@."
@@ -876,13 +892,17 @@ let pir trials =
    sweep; and the sieved semi-safe prime search vs the seed-revision
    generate-and-test loop (Miller-Rabin calls and wall time).  Emits
    BENCH_ot.json. *)
-let ot trials =
+let ot ?(out = "BENCH_ot.json") ?group ?(n = 25) ?(sweep_grids = [ 10; 25; 40 ])
+    ?(search_q_bits = 128) trials =
   Format.printf
     "=== OT stage-1 hot path: comb/Straus engine & sieved prime search ===@.@.";
-  let group = Schnorr.paper_group () in
+  let gc0 = Counters.gc_words () in
+  let group =
+    match group with Some g -> g | None -> Schnorr.paper_group ()
+  in
   let drbg = Drbg.create ~seed:"bench-ot" () in
   let rand = Drbg.rand drbg in
-  let n = 25 and m = 25 in
+  let m = n in
   let payloads =
     Array.init n (fun _ ->
         Array.init m (fun _ -> Drbg.bytes drbg Server.payload_len))
@@ -948,11 +968,11 @@ let ot trials =
         let tn = sample (fun () -> ignore (Ot.Server.respond server q)) in
         Format.printf "  %-7d | %14.4f | %14.4f | %.2fx@." k tr tn (tr /. tn);
         (k, tr, tn))
-      [ 10; 25; 40 ]
+      sweep_grids
   in
   (* --- Sieved prime search vs the seed generate-and-test loop. --- *)
   let pi = Z.pow (Z.of_int 3) 20 in
-  let q_bits = 128 in
+  let q_bits = search_q_bits in
   let searches = max 2 (min trials 5) in
   let run_search f =
     let metrics = Counters.create () in
@@ -992,35 +1012,238 @@ let ot trials =
   in
   Format.printf "    MR-call ratio (seed / sieved): %.2fx; wall %.2fx@."
     mr_ratio (t_seed /. t_sieved);
-  let oc = open_out "BENCH_ot.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"params\": {\"rows\": %d, \"cols\": %d, \"p_bits\": %d, \"q_bits\": \
-     %d},\n\
-    \  \"respond\": {\"reference_s\": %.6f, \"engine_s\": %.6f, \"speedup\": \
-     %.3f, \"predicted_mults\": %d, \"measured_mults\": %d},\n\
-    \  \"grid_sweep\": [%s],\n\
-    \  \"prime_search\": {\"q_bits\": %d, \"searches\": %d, \"seed_s\": %.6f, \
-     \"sieved_s\": %.6f, \"seed_mr_calls\": %d, \"sieved_mr_calls\": %d, \
-     \"sieved_attempts\": %d, \"sieve_rejects\": %d, \"mr_ratio\": %.3f}\n\
-     }\n"
-    n m (Schnorr.p_bits group) (Schnorr.q_bits group) t_ref t_new speedup
-    predicted measured
-    (String.concat ", "
-       (List.map
-          (fun (k, tr, tn) ->
-            Printf.sprintf
-              "{\"n\": %d, \"reference_s\": %.6f, \"engine_s\": %.6f}" k tr tn)
-          sweep))
-    q_bits searches t_seed t_sieved s_seed.Counters.mr_calls
-    s_sieved.Counters.mr_calls s_sieved.Counters.prime_attempts
-    s_sieved.Counters.sieve_rejects mr_ratio;
-  close_out oc;
-  Format.printf "@.  Wrote BENCH_ot.json.@.@.";
+  J.write ~path:out
+    (J.Obj
+       ([ ( "params",
+            J.Obj
+              [ "rows", J.Int n; "cols", J.Int m;
+                "p_bits", J.Int (Schnorr.p_bits group);
+                "q_bits", J.Int (Schnorr.q_bits group) ] );
+          ( "respond",
+            J.Obj
+              [ "reference_s", J.Float t_ref; "engine_s", J.Float t_new;
+                "speedup", J.Float speedup;
+                "predicted_mults", J.Int predicted;
+                "measured_mults", J.Int measured ] );
+          ( "grid_sweep",
+            J.List
+              (List.map
+                 (fun (k, tr, tn) ->
+                   J.Obj
+                     [ "n", J.Int k; "reference_s", J.Float tr;
+                       "engine_s", J.Float tn ])
+                 sweep) );
+          ( "prime_search",
+            J.Obj
+              [ "q_bits", J.Int q_bits; "searches", J.Int searches;
+                "seed_s", J.Float t_seed; "sieved_s", J.Float t_sieved;
+                "seed_mr_calls", J.Int s_seed.Counters.mr_calls;
+                "sieved_mr_calls", J.Int s_sieved.Counters.mr_calls;
+                "sieved_attempts", J.Int s_sieved.Counters.prime_attempts;
+                "sieve_rejects", J.Int s_sieved.Counters.sieve_rejects;
+                "mr_ratio", J.Float mr_ratio ] ) ]
+        @ J.gc_fields (Counters.gc_delta ~since:gc0)));
+  Format.printf "@.  Wrote %s.@.@." out;
   if speedup < 1.5 then
     Format.printf
       "  WARNING: respond speedup %.2fx below the 1.5x acceptance bar.@.@."
       speedup
+
+(* ------------------------------------------------------------------ *)
+(* Keypool: the offline/online stage-2 split                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The offline/online query split (S VI): cold inline stage-2 query
+   (Table IV prime search on the critical path) vs a warm take from a
+   prewarmed keypool; pooled-refill byte-identity against the sequential
+   reference oracle for 1 and 3 workers; prewarm wall time across pool
+   size x worker count; and end-to-end protocol rounds with and without
+   the pool.  Emits BENCH_keypool.json. *)
+let keypool ?(out = "BENCH_keypool.json") ?(count = 16) ?(block_bits = 512)
+    ?(q_bits = 64) ?(sweep_capacities = [ 1; 2 ]) ?(sweep_workers = [ 1; 2; 4 ])
+    trials =
+  Format.printf
+    "=== Keypool: offline/online stage-2 split (%d records, %d-bit blocks, \
+     |q| = %d, %d trials) ===@.@."
+    count block_bits q_bits trials;
+  let gc0 = Counters.gc_words () in
+  let drbg = Drbg.create ~seed:"bench-keypool" () in
+  let rand = Drbg.rand drbg in
+  let plan = Gr.make_plan ~count ~block_bits () in
+  (* --- Online latency: cold inline build vs warm pool take. --- *)
+  let reps = max 3 trials in
+  let t_cold =
+    Array.init reps (fun i ->
+        let index = i mod count in
+        snd (time (fun () -> ignore (Gr.Client.query ~plan ~index ~q_bits rand))))
+  in
+  (* Capacity exceeds every timed take, so each one pops prebuilt and
+     no stripe hits the watermark mid-measurement. *)
+  let per_index = 1 + ((reps + count - 1) / count) in
+  let t_warm =
+    Keypool.with_pool
+      ~config:{ Keypool.capacity = per_index; low_watermark = 0 }
+      ~domains:2 ~seed:"bench-keypool-warm" ~plan ~q_bits
+      (fun pool ->
+        Keypool.prewarm pool;
+        Array.init reps (fun i ->
+            let index = i mod count in
+            snd (time (fun () -> ignore (Keypool.take pool ~index)))))
+  in
+  let cold = mean t_cold in
+  let warm = Float.max (mean t_warm) 1e-9 in
+  let speedup = cold /. warm in
+  Format.printf "  cold (inline prime search): %10.6f s/query (+/- %.6f)@."
+    cold (stddev t_cold);
+  Format.printf "  warm (pool take):           %10.6f s/query (+/- %.6f)@."
+    warm (stddev t_warm);
+  Format.printf "  speedup: %.0fx@." speedup;
+  assert (speedup >= 20.);
+  (* --- Byte-identity: pooled refill vs the sequential oracle. --- *)
+  let gens = 2 in
+  let ident_seed = "bench-keypool-ident" in
+  let takes workers =
+    Keypool.with_pool
+      ~config:{ Keypool.capacity = gens; low_watermark = 0 }
+      ~domains:workers ~seed:ident_seed ~plan ~q_bits
+      (fun pool ->
+        Keypool.prewarm pool;
+        List.init count (fun index ->
+            List.init gens (fun _ -> snd (Keypool.take pool ~index))))
+  in
+  let w1 = takes 1 in
+  let w3 = takes 3 in
+  let reference =
+    List.init count (fun index ->
+        List.init gens (fun generation ->
+            snd
+              (Keypool.build_reference ~seed:ident_seed ~plan ~q_bits ~index
+                 ~generation ())))
+  in
+  let same (n, g) (n', g') = Z.equal n n' && Z.equal g g' in
+  assert (List.for_all2 (List.for_all2 same) w1 reference);
+  assert (List.for_all2 (List.for_all2 same) w3 reference);
+  Format.printf
+    "@.  identity: %d pooled instances (1- and 3-worker refill) byte-identical \
+     to the sequential reference@."
+    (gens * count);
+  (* --- Prewarm wall time: pool size x worker count. --- *)
+  Format.printf "@.  %-9s | %-8s | %-10s | %s@." "capacity" "workers"
+    "instances" "prewarm (s)";
+  Format.printf "  %s@." (String.make 48 '-');
+  let sweep =
+    List.concat_map
+      (fun capacity ->
+        List.map
+          (fun workers ->
+            let gcs = Counters.gc_words () in
+            let dt =
+              snd
+                (time (fun () ->
+                     Keypool.with_pool
+                       ~config:{ Keypool.capacity; low_watermark = 0 }
+                       ~domains:workers
+                       ~seed:
+                         (Printf.sprintf "bench-keypool-sweep-%d-%d" capacity
+                            workers)
+                       ~plan ~q_bits Keypool.prewarm))
+            in
+            Format.printf "  %-9d | %-8d | %-10d | %.3f@." capacity workers
+              (capacity * count) dt;
+            J.Obj
+              ([ "capacity", J.Int capacity; "workers", J.Int workers;
+                 "instances", J.Int (capacity * count);
+                 "prewarm_s", J.Float dt ]
+               @ J.gc_fields (Counters.gc_delta ~since:gcs)))
+          sweep_workers)
+      sweep_capacities
+  in
+  (* --- End-to-end rounds with and without the pool. --- *)
+  let area =
+    Coord.Rect.make ~min:(Coord.make ~x:0. ~y:0.)
+      ~max:(Coord.make ~x:3000. ~y:3000.)
+  in
+  let pois =
+    List.init 9 (fun idx ->
+        let row = idx / 3 and col = idx mod 3 in
+        Poi.make ~id:idx
+          ~position:(Coord.make
+                       ~x:((float_of_int col *. 1000.) +. 500.)
+                       ~y:((float_of_int row *. 1000.) +. 500.))
+          ~category:"c" ~name:"n")
+  in
+  let params = Params.test ~seed:"bench-keypool-e2e" () in
+  let server = Server.create params ~area pois in
+  let info = Server.public_info server in
+  let position = Coord.make ~x:1500. ~y:1500. in
+  let rounds = max 2 trials in
+  let fresh =
+    let client = Client.create ~seed:"bench-keypool-fresh" info in
+    Array.init rounds (fun _ ->
+        snd (time (fun () -> ignore (Protocol.run_round client server ~position))))
+  in
+  let pooled =
+    let client = Client.create ~seed:"bench-keypool-pooled" info in
+    (* capacity > rounds: no stripe ever reaches the watermark, so no
+       background refill competes with the timed rounds for cores. *)
+    Keypool.with_pool
+      ~config:{ Keypool.capacity = rounds + 1; low_watermark = 0 }
+      ~domains:2 ~seed:"bench-keypool-e2e-pool" ~plan:info.Server.plan
+      ~q_bits:params.Params.q_bits
+      (fun pool ->
+        Keypool.prewarm pool;
+        Array.init rounds (fun _ ->
+            snd
+              (time (fun () ->
+                   ignore (Protocol.run_round ~pool client server ~position)))))
+  in
+  Format.printf
+    "@.  e2e round (test preset, %d rounds): fresh %.3f s, pooled %.3f s \
+     (%.1fx)@."
+    rounds (mean fresh) (mean pooled)
+    (mean fresh /. mean pooled);
+  J.write ~path:out
+    (J.Obj
+       ([ ( "params",
+            J.Obj
+              [ "records", J.Int count; "block_bits", J.Int block_bits;
+                "q_bits", J.Int q_bits; "trials", J.Int trials ] );
+          ( "latency",
+            J.Obj
+              [ "cold_s", J.Float cold; "warm_s", J.Float warm;
+                "speedup", J.Float speedup ] );
+          ( "identity",
+            J.Obj
+              [ "instances", J.Int (gens * count);
+                "byte_identical", J.Bool true ] );
+          "prewarm_sweep", J.List sweep;
+          ( "e2e",
+            J.Obj
+              [ "rounds", J.Int rounds; "fresh_s", J.Float (mean fresh);
+                "pooled_s", J.Float (mean pooled);
+                "speedup", J.Float (mean fresh /. mean pooled) ] ) ]
+        @ J.gc_fields (Counters.gc_delta ~since:gc0)));
+  Format.printf "@.  Wrote %s.  The prime search moves off the online@." out;
+  Format.printf
+    "  path; a warm stage-2 query is a ring-buffer pop and every pooled@.";
+  Format.printf
+    "  instance is byte-identical to the no-pool run (same DRBG fork).@.@."
+
+(* ------------------------------------------------------------------ *)
+(* quick: tiny-parameter smoke of every JSON-emitting suite             *)
+(* ------------------------------------------------------------------ *)
+
+(* Same code paths as faults/pir/ot/keypool, toy sizes, *.quick.json
+   artifacts.  `make check` runs this (via `make bench-quick`) so the
+   JSON emitters and the bench-level assertions stay exercised without
+   paper-scale run times. *)
+let quick trials =
+  faults ~out:"BENCH_faults.quick.json" ~rates:[ 0.; 0.1 ] trials;
+  pir ~out:"BENCH_pir.quick.json" ~count:16 ~block_bits:256 ~q_bits:48 trials;
+  ot ~out:"BENCH_ot.quick.json" ~group:(Schnorr.test_group ()) ~n:8
+    ~sweep_grids:[ 4; 8 ] ~search_q_bits:48 trials;
+  keypool ~out:"BENCH_keypool.quick.json" ~count:4 ~block_bits:192 ~q_bits:32
+    ~sweep_capacities:[ 1 ] ~sweep_workers:[ 1; 2 ] trials
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -1098,6 +1321,8 @@ let () =
   | "faults" -> faults trials
   | "pir" -> pir trials
   | "ot" -> ot trials
+  | "keypool" -> keypool trials
+  | "quick" -> quick trials
   | "micro" -> micro trials
   | "all" ->
     table1 trials;
@@ -1115,9 +1340,10 @@ let () =
     faults (max 2 (trials / 2));
     pir (max 2 (trials / 2));
     ot (max 2 (trials / 2));
+    keypool (max 2 (trials / 2));
     micro trials
   | other ->
     Format.eprintf
-      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, pir, ot, micro, all)@."
+      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, pir, ot, keypool, quick, micro, all)@."
       other;
     exit 2

@@ -12,6 +12,7 @@ open Lbq_geo
 open Lbq_core
 module Schnorr = Lbq_group.Schnorr
 module Drbg = Lbq_crypto.Drbg
+module Keypool = Lbq_cache.Keypool
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -36,6 +37,39 @@ let db_arg =
   Arg.(value & opt (some file) None & info [ "db" ] ~docv:"FILE"
          ~doc:"Load the POI database from a file written by $(b,gen-city) \
                instead of synthesising one.")
+
+let prewarm_arg =
+  Arg.(value & flag & info [ "prewarm" ]
+         ~doc:"Pre-build phi-hiding PIR instances for every private cell on \
+               background domains before the first round (the offline/online \
+               query split), then draw stage-2 queries from the pool and \
+               print its hit/miss statistics.")
+
+(* The offline/online split from the CLI: prewarm a keypool over the
+   deployment's plan, hand it to every round, and dump the pool counters
+   when done.  Capacity 2 with watermark 1 keeps one spare instance per
+   cell warming in the background while one is ready to take. *)
+let with_keypool ~prewarm ~seed ~(params : Params.t) server f =
+  if not prewarm then f None
+  else begin
+    let plan = (Server.public_info server).Server.plan in
+    Keypool.with_pool
+      ~config:{ Keypool.capacity = 2; low_watermark = 1 }
+      ~domains:2 ~seed:(seed ^ "-keypool") ~plan
+      ~q_bits:params.Params.q_bits
+      (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        Keypool.prewarm pool;
+        Format.printf
+          "Keypool prewarmed: %d instance(s) per cell across %d cell(s) in \
+           %.2f s.@.@."
+          (Keypool.capacity pool)
+          (Lbq_pir.Gr.plan_size plan)
+          (Unix.gettimeofday () -. t0);
+        let result = f (Some pool) in
+        Format.printf "@.%a@." Keypool.pp_stats (Keypool.stats pool);
+        result)
+  end
 
 (* A city sized to the preset, thinned to its rmax budget. *)
 let build_city ?db ~seed (params : Params.t) =
@@ -78,7 +112,7 @@ let build_city ?db ~seed (params : Params.t) =
 (* demo                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let demo preset seed db x y =
+let demo preset seed db prewarm x y =
   let params = params_of_preset ~seed:(seed ^ "-params") preset in
   let area, pois = build_city ?db ~seed params in
   Format.printf "Initialising server over %d POIs ...@." (List.length pois);
@@ -91,26 +125,27 @@ let demo preset seed db x y =
       ~y:(Float.min (Float.max y 0.) side)
   in
   Format.printf "User at %a.@.@." Coord.pp position;
-  let result = Protocol.run_round client server ~position in
-  Format.printf "%a@.@." Protocol.pp_transcript result.Protocol.transcript;
-  Format.printf "Cell %d returned %d record(s):@."
-    (Client.credential_idq result.Protocol.credential)
-    (List.length result.Protocol.pois);
-  List.iter (fun p -> Format.printf "  %a@." Poi.pp p) result.Protocol.pois;
-  `Ok ()
+  with_keypool ~prewarm ~seed ~params server (fun pool ->
+      let result = Protocol.run_round ?pool client server ~position in
+      Format.printf "%a@.@." Protocol.pp_transcript result.Protocol.transcript;
+      Format.printf "Cell %d returned %d record(s):@."
+        (Client.credential_idq result.Protocol.credential)
+        (List.length result.Protocol.pois);
+      List.iter (fun p -> Format.printf "  %a@." Poi.pp p) result.Protocol.pois;
+      `Ok ())
 
 let demo_cmd =
   let x = Arg.(value & opt float 1234. & info [ "x" ] ~doc:"User x (metres).") in
   let y = Arg.(value & opt float 2345. & info [ "y" ] ~doc:"User y (metres).") in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run one protocol round over a synthetic city.")
-    Term.(ret (const demo $ preset_arg $ seed_arg $ db_arg $ x $ y))
+    Term.(ret (const demo $ preset_arg $ seed_arg $ db_arg $ prewarm_arg $ x $ y))
 
 (* ------------------------------------------------------------------ *)
 (* walk                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let walk preset seed db steps =
+let walk preset seed db prewarm steps =
   if steps <= 0 then `Error (false, "--steps must be positive")
   else begin
     let params = params_of_preset ~seed:(seed ^ "-params") preset in
@@ -121,18 +156,19 @@ let walk preset seed db steps =
       Synth.walk ~seed:(seed ^ "-walk") ~area ~steps
         ~stride:(Coord.Rect.width area /. 8.) ()
     in
-    List.iteri
-      (fun i position ->
-        let result = Protocol.run_round client server ~position in
-        match Nn.nearest ~from:position result.Protocol.pois with
-        | Some p ->
-          Format.printf "step %2d %a: nearest %a (%.0f m)@." i Coord.pp position
-            Poi.pp p
-            (Coord.distance position (Poi.position p))
-        | None ->
-          Format.printf "step %2d %a: cell empty@." i Coord.pp position)
-      path;
-    `Ok ()
+    with_keypool ~prewarm ~seed ~params server (fun pool ->
+        List.iteri
+          (fun i position ->
+            let result = Protocol.run_round ?pool client server ~position in
+            match Nn.nearest ~from:position result.Protocol.pois with
+            | Some p ->
+              Format.printf "step %2d %a: nearest %a (%.0f m)@." i Coord.pp
+                position Poi.pp p
+                (Coord.distance position (Poi.position p))
+            | None ->
+              Format.printf "step %2d %a: cell empty@." i Coord.pp position)
+          path;
+        `Ok ())
   end
 
 let walk_cmd =
@@ -141,7 +177,7 @@ let walk_cmd =
   in
   Cmd.v
     (Cmd.info "walk" ~doc:"Repeated private queries along a random walk.")
-    Term.(ret (const walk $ preset_arg $ seed_arg $ db_arg $ steps))
+    Term.(ret (const walk $ preset_arg $ seed_arg $ db_arg $ prewarm_arg $ steps))
 
 (* ------------------------------------------------------------------ *)
 (* gen-city                                                             *)

@@ -43,8 +43,8 @@ let pp_transcript fmt tr =
 
 (* One full round for a user standing at [position].  All four protocol
    messages are serialized, "sent", and parsed on the other side.
-   [reuse] forwards to {!Client.stage2_query}. *)
-let run_round ?(reuse = false) (client : Client.t) (server : Server.t)
+   [reuse] and [pool] forward to {!Client.stage2_query}. *)
+let run_round ?(reuse = false) ?pool (client : Client.t) (server : Server.t)
     ~(position : Coord.t) : round_result =
   let group = (Server.params server).Params.group in
   let tr = ref [] in
@@ -67,7 +67,7 @@ let run_round ?(reuse = false) (client : Client.t) (server : Server.t)
     Client.stage1_decode client st1 (Wire.ot_response_decode group ot_resp_wire)
   in
   (* Stage 2: private information retrieval. *)
-  let st2, pir_query = Client.stage2_query ~reuse client credential in
+  let st2, pir_query = Client.stage2_query ~reuse ?pool client credential in
   let pir_query_wire =
     send User_to_server "PIR query (N, g)" (Wire.pir_query_encode pir_query)
   in

@@ -24,6 +24,10 @@ val pp_transcript : Format.formatter -> transcript -> unit
 
 (** One full two-stage round for a user at [position].  [reuse] lets the
     client recycle its per-cell PIR instance across rounds (§VI's
-    repeated-round efficiency; links same-cell rounds at the server). *)
+    repeated-round efficiency; links same-cell rounds at the server);
+    [pool] draws the stage-2 instance from a prewarmed
+    {!Client.Keypool} instead of searching for primes inline (fresh
+    modulus per round, so rounds stay unlinkable). *)
 val run_round :
-  ?reuse:bool -> Client.t -> Server.t -> position:Coord.t -> round_result
+  ?reuse:bool -> ?pool:Client.Keypool.t -> Client.t -> Server.t ->
+  position:Coord.t -> round_result

@@ -7,7 +7,7 @@
    and the bench harness checks the measured totals against the closed
    forms.
 
-   Cells are [Atomic.t] so the Domains query pool (lib/net/pool.ml) can
+   Cells are [Atomic.t] so the Domains query pool (lib/pool/pool.ml) can
    bump one shared record from concurrent handlers without losing
    updates; readers take a coherent-enough [snapshot] (each field is read
    atomically; the record as a whole is only quiescently consistent,
@@ -26,6 +26,13 @@ type t = {
   prime_attempts : int Atomic.t; (* prime-search candidates examined *)
   sieve_rejects : int Atomic.t;  (* candidates killed by the small-prime wheel *)
   mr_calls : int Atomic.t;       (* candidates that reached Miller-Rabin *)
+  pool_hits : int Atomic.t;      (* keypool takes served from a stripe *)
+  pool_misses : int Atomic.t;    (* takes that found the stripe empty *)
+  pool_refills : int Atomic.t;   (* instances built by background workers *)
+  pool_steals : int Atomic.t;    (* build tickets claimed by the foreground *)
+  cache_hits : int Atomic.t;     (* per-cell instance-cache (LRU) hits *)
+  cache_misses : int Atomic.t;   (* ... misses *)
+  cache_evictions : int Atomic.t;(* entries dropped by the LRU cap *)
 }
 
 (* Plain-integer view for readers (tests, bench, reporting). *)
@@ -42,6 +49,13 @@ type snapshot = {
   prime_attempts : int;
   sieve_rejects : int;
   mr_calls : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_refills : int;
+  pool_steals : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
 }
 
 let create () : t =
@@ -58,6 +72,13 @@ let create () : t =
     prime_attempts = Atomic.make 0;
     sieve_rejects = Atomic.make 0;
     mr_calls = Atomic.make 0;
+    pool_hits = Atomic.make 0;
+    pool_misses = Atomic.make 0;
+    pool_refills = Atomic.make 0;
+    pool_steals = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    cache_evictions = Atomic.make 0;
   }
 
 (* A shared do-nothing sink for callers that don't measure.  The bump
@@ -80,6 +101,13 @@ let snapshot (t : t) : snapshot =
     prime_attempts = Atomic.get t.prime_attempts;
     sieve_rejects = Atomic.get t.sieve_rejects;
     mr_calls = Atomic.get t.mr_calls;
+    pool_hits = Atomic.get t.pool_hits;
+    pool_misses = Atomic.get t.pool_misses;
+    pool_refills = Atomic.get t.pool_refills;
+    pool_steals = Atomic.get t.pool_steals;
+    cache_hits = Atomic.get t.cache_hits;
+    cache_misses = Atomic.get t.cache_misses;
+    cache_evictions = Atomic.get t.cache_evictions;
   }
 
 let reset (t : t) =
@@ -94,7 +122,14 @@ let reset (t : t) =
   Atomic.set t.rejects 0;
   Atomic.set t.prime_attempts 0;
   Atomic.set t.sieve_rejects 0;
-  Atomic.set t.mr_calls 0
+  Atomic.set t.mr_calls 0;
+  Atomic.set t.pool_hits 0;
+  Atomic.set t.pool_misses 0;
+  Atomic.set t.pool_refills 0;
+  Atomic.set t.pool_steals 0;
+  Atomic.set t.cache_hits 0;
+  Atomic.set t.cache_misses 0;
+  Atomic.set t.cache_evictions 0
 
 let copy (t : t) : t =
   let s = snapshot t in
@@ -111,6 +146,13 @@ let copy (t : t) : t =
     prime_attempts = Atomic.make s.prime_attempts;
     sieve_rejects = Atomic.make s.sieve_rejects;
     mr_calls = Atomic.make s.mr_calls;
+    pool_hits = Atomic.make s.pool_hits;
+    pool_misses = Atomic.make s.pool_misses;
+    pool_refills = Atomic.make s.pool_refills;
+    pool_steals = Atomic.make s.pool_steals;
+    cache_hits = Atomic.make s.cache_hits;
+    cache_misses = Atomic.make s.cache_misses;
+    cache_evictions = Atomic.make s.cache_evictions;
   }
 
 let bump (t : t) (cell : int Atomic.t) (n : int) =
@@ -128,13 +170,55 @@ let rejects (t : t) n = bump t t.rejects n
 let prime_attempts (t : t) n = bump t t.prime_attempts n
 let sieve_rejects (t : t) n = bump t t.sieve_rejects n
 let mr_calls (t : t) n = bump t t.mr_calls n
+let pool_hits (t : t) n = bump t t.pool_hits n
+let pool_misses (t : t) n = bump t t.pool_misses n
+let pool_refills (t : t) n = bump t t.pool_refills n
+let pool_steals (t : t) n = bump t t.pool_steals n
+let cache_hits (t : t) n = bump t t.cache_hits n
+let cache_misses (t : t) n = bump t t.cache_misses n
+let cache_evictions (t : t) n = bump t t.cache_evictions n
 
 let pp fmt (t : t) =
   let s = snapshot t in
   Format.fprintf fmt
     "@[user: %d exp, %d mult, %d B sent; server: %d exp, %d mult, %d B sent; \
      transport: %d retries, %d drops, %d rejects; prime search: %d \
-     candidates, %d sieved out, %d MR-tested@]"
+     candidates, %d sieved out, %d MR-tested; keypool: %d hits, %d misses, \
+     %d refills, %d steals; instance cache: %d hits, %d misses, %d \
+     evictions@]"
     s.user_exp s.user_mult s.user_bytes s.server_exp s.server_mult
     s.server_bytes s.retries s.drops s.rejects s.prime_attempts
-    s.sieve_rejects s.mr_calls
+    s.sieve_rejects s.mr_calls s.pool_hits s.pool_misses s.pool_refills
+    s.pool_steals s.cache_hits s.cache_misses s.cache_evictions
+
+(* ------------------------------------------------------------------ *)
+(* GC pressure                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocated-words snapshots, so bench rows can report how much a hot
+   loop allocates (minor + promoted-into-major + direct-major words).
+   These read the runtime's global [Gc.quick_stat]; in multi-domain
+   phases the numbers are the whole process's allocation, which is what
+   a regression trajectory wants anyway. *)
+
+type gc_words = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+}
+
+let gc_words () : gc_words =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = s.Gc.minor_words;
+    major_words = s.Gc.major_words;
+    promoted_words = s.Gc.promoted_words;
+  }
+
+let gc_delta ~(since : gc_words) : gc_words =
+  let now = gc_words () in
+  {
+    minor_words = now.minor_words -. since.minor_words;
+    major_words = now.major_words -. since.major_words;
+    promoted_words = now.promoted_words -. since.promoted_words;
+  }

@@ -25,6 +25,13 @@ type snapshot = {
   prime_attempts : int;
   sieve_rejects : int;
   mr_calls : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_refills : int;
+  pool_steals : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
 }
 
 val create : unit -> t
@@ -56,7 +63,41 @@ val prime_attempts : t -> int -> unit
 val sieve_rejects : t -> int -> unit
 val mr_calls : t -> int -> unit
 
+(** Keypool (offline/online split) counters: takes served from a warm
+    stripe, takes that found their stripe empty, instances built by the
+    background refill workers, and build tickets the foreground claimed
+    for itself because no prebuilt instance was ready. *)
+val pool_hits : t -> int -> unit
+
+val pool_misses : t -> int -> unit
+val pool_refills : t -> int -> unit
+val pool_steals : t -> int -> unit
+
+(** Per-cell instance-cache (LRU) counters: reuse hits, misses that paid
+    a fresh instance build, and entries evicted by the capacity cap. *)
+val cache_hits : t -> int -> unit
+
+val cache_misses : t -> int -> unit
+val cache_evictions : t -> int -> unit
+
 val pp : Format.formatter -> t -> unit
+
+(** {2 GC pressure}
+
+    Allocated-words snapshots from [Gc.quick_stat], so every bench row
+    can carry the allocation cost of the loop it measured and hot-loop
+    allocation regressions show up in the trajectory. *)
+
+type gc_words = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+}
+
+val gc_words : unit -> gc_words
+
+(** Words allocated since [since] (current snapshot minus [since]). *)
+val gc_delta : since:gc_words -> gc_words
 
 (** Shared sink for unmeasured runs.  Increment calls on [null] are
     no-ops (guarded by physical equality), so unmeasured callers neither

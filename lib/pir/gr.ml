@@ -157,11 +157,18 @@ module Client = struct
     n : Z.t;            (* modulus N = Q0 * Q1, factorisation secret *)
     g : Z.t;            (* quasi-generator, order divisible by pi *)
     phi : Z.t;          (* phi(N) = 4 * q0 * q1 * pi *)
+    qq0 : Z.t;          (* Q0 = 2 q0 pi + 1: the trapdoor, kept client-side *)
+    qq1 : Z.t;          (* Q1 = 2 q1 + 1 *)
     ctx : Barrett.t;
+    mont : Montgomery.t;
+      (* N is odd (product of two odd primes), so the two decode
+         exponentiations to phi/pi run under Montgomery REDC; the Barrett
+         context keeps serving the Pohlig–Hellman solver *)
     metrics : Counters.t;
     mutable solver : Dlog.Prime_power_solver.t option;
       (* h = g^(phi/pi) and the Pohlig–Hellman tables depend only on the
-         instance, not the response: built on first decode, reused after *)
+         instance, not the response: built on first decode (or by
+         {!prepare}, offline), reused after *)
   }
 
   (* Build the phi-hiding instance for record [index].  [q_bits] is the
@@ -190,12 +197,51 @@ module Client = struct
       else find_g ()
     in
     let g = find_g () in
-    let st = { slot; n; g; phi; ctx; metrics; solver = None } in
+    let st =
+      { slot; n; g; phi; qq0; qq1; ctx; mont = Montgomery.create n; metrics;
+        solver = None }
+    in
     Counters.user_bytes metrics (2 * ((Z.numbits n + 7) / 8));
     st, (n, g)
 
   let modulus st = st.n
   let generator st = st.g
+  let wire st = st.n, st.g
+  let factors st = st.qq0, st.qq1
+
+  (* The instance-only half of [decode]: h = g^(phi/pi) plus the
+     Pohlig–Hellman power/inverse/baby-step tables, all independent of
+     any server response.  [mults] collects the modular multiplications
+     spent here so callers can attribute them (online decode vs offline
+     prepare). *)
+  let solver_of st ~mults =
+    match st.solver with
+    | Some s -> s
+    | None ->
+      let exponent = Z.div st.phi st.slot.pi in
+      let h =
+        Montgomery.counting st.mont mults (fun () ->
+            Montgomery.powm st.mont st.g exponent)
+      in
+      let s =
+        Barrett.counting st.ctx mults (fun () ->
+            Dlog.Prime_power_solver.make st.ctx ~base:h ~p:st.slot.p
+              ~c:st.slot.c)
+      in
+      st.solver <- Some s;
+      s
+
+  (* Build every response-independent table now — the offline half of the
+     offline/online split.  A prepared state's [decode] costs one
+     exponentiation plus the giant steps, nothing else.  The work is
+     counted as user multiplications (it is the user's Table II cost,
+     merely moved off the query path). *)
+  let prepare st =
+    let mults = ref 0 in
+    let s = solver_of st ~mults in
+    Barrett.counting st.ctx mults (fun () ->
+        Dlog.Prime_power_solver.force s);
+    Counters.user_mult st.metrics !mults
 
   (* Recover C_index from the server's g^e: raise both g and g_e to
      phi/pi (the user's 2|N| multiplications of Table II), then take the
@@ -207,21 +253,13 @@ module Client = struct
   let decode (st : state) (ge : Z.t) : Z.t =
     let exponent = Z.div st.phi st.slot.pi in
     let mults = ref 0 in
+    let solver = solver_of st ~mults in
+    let he =
+      Montgomery.counting st.mont mults (fun () ->
+          Montgomery.powm st.mont ge exponent)
+    in
     let result =
       Barrett.counting st.ctx mults (fun () ->
-          let solver =
-            match st.solver with
-            | Some s -> s
-            | None ->
-              let h = Barrett.powm st.ctx st.g exponent in
-              let s =
-                Dlog.Prime_power_solver.make st.ctx ~base:h ~p:st.slot.p
-                  ~c:st.slot.c
-              in
-              st.solver <- Some s;
-              s
-          in
-          let he = Barrett.powm st.ctx ge exponent in
           Dlog.Prime_power_solver.solve solver he)
     in
     Counters.user_mult st.metrics !mults;

@@ -78,6 +78,23 @@ module Client : sig
   val modulus : state -> Z.t
   val generator : state -> Z.t
 
+  (** The wire query [(N, g)] of this instance, recoverable from the
+      state alone (a pooled instance re-emits its query on take). *)
+  val wire : state -> Z.t * Z.t
+
+  (** The trapdoor factorisation [(Q0, Q1)] of the modulus — what the
+      phi-hiding assumption keeps from the server.  Exposed so offline
+      instance builders can sanity-check and tests can cross-check. *)
+  val factors : state -> Z.t * Z.t
+
+  (** Build every response-independent decode table now: the subgroup
+      base [h = g{^phi/pi}], the Pohlig–Hellman power and inverse-power
+      tables, and the shared baby-step table.  This is the offline half
+      of the offline/online split ({!Lbq_cache.Keypool} calls it from
+      its refill workers); a prepared state's {!decode} costs one
+      exponentiation plus the giant steps.  Idempotent. *)
+  val prepare : state -> unit
+
   (** Recover the record: raise to [phi/pi] and take a Pohlig–Hellman
       discrete log in the order-pi subgroup.  The subgroup base
       [h = g{^phi/pi}] and the solver's tables are cached in the state on

@@ -7,6 +7,7 @@ open Lbq_bignum
 open Lbq_geo
 open Lbq_core
 module Ot = Lbq_ot.Ot
+module Counters = Lbq_metrics.Counters
 
 
 let params = Params.test ()
@@ -303,6 +304,86 @@ let test_reuse_correct_and_cached () =
   let _, (n1, _) = Client.stage2_query client3 cred in
   let _, (n2, _) = Client.stage2_query client3 cred in
   Alcotest.(check bool) "fresh moduli differ" false (Z.equal n1 n2)
+
+let test_reuse_cache_lru_eviction () =
+  (* The reuse cache is bounded: with cache_cap = 2 and three distinct
+     cells, the least-recently-used instance must be evicted, counted,
+     and rebuilt (as a miss) when its cell comes back. *)
+  let metrics = Counters.create () in
+  let lru_client = Client.create ~metrics ~seed:"lru" ~cache_cap:2 public in
+  let p1 = Coord.make ~x:500. ~y:500. in
+  let p2 = Coord.make ~x:1500. ~y:1500. in
+  let p3 = Coord.make ~x:2500. ~y:2500. in
+  let round p =
+    let r = Protocol.run_round ~reuse:true lru_client server ~position:p in
+    Alcotest.(check (list poit)) "round answer" (expected_pois p)
+      r.Protocol.pois
+  in
+  round p1;
+  Alcotest.(check int) "one entry" 1 (Client.cache_size lru_client);
+  round p2;
+  Alcotest.(check int) "two entries" 2 (Client.cache_size lru_client);
+  round p1;
+  let snap = Counters.snapshot metrics in
+  Alcotest.(check int) "repeat cell hits" 1 snap.Counters.cache_hits;
+  Alcotest.(check int) "no eviction yet" 0 snap.Counters.cache_evictions;
+  (* A third cell exceeds the cap; p2 is now least recently used. *)
+  round p3;
+  let snap = Counters.snapshot metrics in
+  Alcotest.(check int) "cap respected" 2 (Client.cache_size lru_client);
+  Alcotest.(check int) "one eviction" 1 snap.Counters.cache_evictions;
+  Alcotest.(check int) "distinct cells missed" 3 snap.Counters.cache_misses;
+  (* p1 was touched most recently before p3, so it survived; the evicted
+     p2 misses again (and pushes out p3 in turn). *)
+  round p1;
+  round p2;
+  let snap = Counters.snapshot metrics in
+  Alcotest.(check int) "survivor still hits" 2 snap.Counters.cache_hits;
+  Alcotest.(check int) "evicted cell misses again" 4 snap.Counters.cache_misses;
+  Alcotest.(check int) "second eviction" 2 snap.Counters.cache_evictions;
+  Alcotest.(check int) "still at cap" 2 (Client.cache_size lru_client);
+  (* The cap itself is validated. *)
+  match Client.create ~cache_cap:0 public with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cache_cap = 0 must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Keypool-backed rounds (offline/online split)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pooled_rounds_fresh_moduli () =
+  (* Rounds drawing stage-2 instances from a keypool stay correct and
+     unlinkable: consecutive same-cell rounds ship distinct moduli
+     (successive pool generations), unlike reuse:true. *)
+  let pool_client = Client.create ~seed:"pooler" public in
+  let position = Coord.make ~x:2500. ~y:500. in
+  Client.Keypool.with_pool ~seed:"core-pool" ~plan:public.Server.plan
+    ~q_bits:params.Params.q_bits
+    (fun pool ->
+      let r1 = Protocol.run_round ~pool pool_client server ~position in
+      let r2 = Protocol.run_round ~pool pool_client server ~position in
+      Alcotest.(check (list poit)) "pooled round 1" (expected_pois position)
+        r1.Protocol.pois;
+      Alcotest.(check (list poit)) "pooled round 2" (expected_pois position)
+        r2.Protocol.pois;
+      let s = Client.Keypool.stats pool in
+      (* No workers and no prewarm: both takes were cold steals. *)
+      Alcotest.(check int) "cold takes" 2 s.Client.Keypool.misses;
+      Alcotest.(check int) "built by the caller" 2 s.Client.Keypool.steals)
+
+let test_pooled_round_rejects_mismatched_pool () =
+  (* A pool built for another deployment (different q_bits) must be
+     refused outright rather than silently producing weaker queries. *)
+  Client.Keypool.with_pool ~seed:"core-pool-mismatch"
+    ~plan:public.Server.plan
+    ~q_bits:(params.Params.q_bits + 8)
+    (fun pool ->
+      match
+        Protocol.run_round ~pool client server
+          ~position:(Coord.make ~x:100. ~y:100.)
+      with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "mismatched keypool must be rejected")
 
 (* ------------------------------------------------------------------ *)
 (* Wire fuzzing                                                         *)
@@ -694,7 +775,14 @@ let () =
          Alcotest.test_case "failures" `Quick test_cellcrypt_failures ]);
       ("reuse",
        [ Alcotest.test_case "correct and cached" `Quick
-           test_reuse_correct_and_cached ]);
+           test_reuse_correct_and_cached;
+         Alcotest.test_case "LRU bound and eviction" `Quick
+           test_reuse_cache_lru_eviction ]);
+      ("keypool",
+       [ Alcotest.test_case "pooled rounds, fresh moduli" `Quick
+           test_pooled_rounds_fresh_moduli;
+         Alcotest.test_case "mismatched pool rejected" `Quick
+           test_pooled_round_rejects_mismatched_pool ]);
       ("fuzz", [ Alcotest.test_case "wire mutations" `Quick test_wire_fuzz ]);
       ("paper-scale",
        [ Alcotest.test_case "full round at 1024/160" `Slow
