@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-quick clean
+.PHONY: all build test test-fast check bench bench-quick clean
 
 all: build
 
@@ -10,9 +10,14 @@ build:
 test:
 	dune runtest
 
+# Fast inner loop: only the cross-backend differential arena
+# (test_backends), the suite most likely to catch a backend regression.
+test-fast:
+	dune build @backends
+
 # Tiny-parameter smoke of every JSON-emitting bench suite
-# (faults/pir/ot/keypool): same code paths and assertions as the full
-# suites, toy sizes, BENCH_*.quick.json artifacts.
+# (faults/pir/ot/keypool/backends): same code paths and assertions as
+# the full suites, toy sizes, BENCH_*.quick.json artifacts.
 bench-quick:
 	dune exec bench/main.exe -- quick 1
 
@@ -25,15 +30,16 @@ check:
 
 # Benchmarks run under the release profile (flambda-style optimisation,
 # no assertions stripped that matter here) so timings reflect deployment:
-# the transport fault sweep plus the stage-1, stage-2 and offline/online
-# hot-path suites that emit BENCH_ot.json, BENCH_pir.json and
-# BENCH_keypool.json.
+# the transport fault sweep plus the stage-1, stage-2, offline/online
+# and backend-arena suites that emit BENCH_ot.json, BENCH_pir.json,
+# BENCH_keypool.json and BENCH_backends.json.
 bench:
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- faults 2
 	dune exec --profile release bench/main.exe -- pir 3
 	dune exec --profile release bench/main.exe -- ot 3
 	dune exec --profile release bench/main.exe -- keypool 3
+	dune exec --profile release bench/main.exe -- backends 5
 
 clean:
 	dune clean

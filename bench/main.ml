@@ -30,9 +30,13 @@
                      byte-identity vs the sequential reference, prewarm
                      time vs pool size x worker count, and e2e rounds
                      with/without the pool; emits BENCH_keypool.json
+     backends        Pluggable PIR arena head-to-head: gr vs qr vs lwe
+                     at matched grid sizes — communication, server
+                     mults (cost oracle asserted = measured counter)
+                     and per-phase timings; emits BENCH_backends.json
      quick           Tiny-parameter smoke of every JSON-emitting suite
-                     (faults/pir/ot/keypool); same code paths, toy
-                     sizes, BENCH_*.quick.json artifacts (make check)
+                     (faults/pir/ot/keypool/backends); same code paths,
+                     toy sizes, BENCH_*.quick.json artifacts (make check)
      micro           Bechamel micro-benchmarks of the hot primitives
      all             Everything above (default; reduced trial counts)
 
@@ -1230,6 +1234,119 @@ let keypool ?(out = "BENCH_keypool.json") ?(count = 16) ?(block_bits = 512)
     "  instance is byte-identical to the no-pool run (same DRBG fork).@.@."
 
 (* ------------------------------------------------------------------ *)
+(* backends: the pluggable PIR arena head-to-head                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The same deterministic database served under every registered PIR
+   backend at matched grid sizes: per (backend x grid), communication
+   (wire-framed query/response bytes), server multiplications (the cost
+   oracle asserted equal to the measured counter, in each backend's own
+   mult unit — bignum modmuls for gr/qr, word mults for lwe), and
+   per-phase wall time.  Retrieval correctness and cross-backend decode
+   agreement are asserted on every fetch.  Emits BENCH_backends.json. *)
+let backends_bench ?(out = "BENCH_backends.json")
+    ?(grids = [ (4, 4, 32); (8, 8, 32); (8, 8, 96) ]) trials =
+  let module Pb = Lbq_pir_backend.Backend_intf in
+  let module Registry = Lbq_pir_backend.Registry in
+  let module Instance = Registry.Instance in
+  Format.printf
+    "=== Backends: pluggable PIR arena head-to-head (%d trials) ===@.@."
+    trials;
+  let gc0 = Counters.gc_words () in
+  let drbg = Drbg.create ~seed:"bench-backends" () in
+  let reps = max 2 trials in
+  let mult_unit = function
+    | Pb.Bignum_modmul -> "bignum_modmul"
+    | Pb.Word_mul -> "word_mul"
+  in
+  let rows_out = ref [] in
+  Format.printf "  %-11s | %-4s | %-9s | %-10s | %-12s | %-10s | %-10s | %s@."
+    "grid" "pir" "query (B)" "answer (B)" "server mults" "query (s)"
+    "respond (s)" "decode (s)";
+  Format.printf "  %s@." (String.make 100 '-');
+  List.iter
+    (fun (rows, cols, len) ->
+      let blocks =
+        Array.init rows (fun r ->
+            Array.init cols (fun c ->
+                String.init len (fun k ->
+                    Char.chr (((r * 131) + (c * 29) + (k * 7)) land 0xff))))
+      in
+      (* Shared target plan so every backend answers the same fetches. *)
+      let plan_drbg =
+        Drbg.create ~seed:(Printf.sprintf "bench-backends-%dx%d" rows cols) ()
+      in
+      let targets =
+        Array.init reps (fun _ ->
+            (Drbg.int plan_drbg rows, Drbg.int plan_drbg cols))
+      in
+      List.iter
+        (fun backend ->
+          let module M = (val backend : Pb.S) in
+          let metrics = Counters.create () in
+          let inst =
+            Instance.create ~metrics ~rand:(Drbg.rand drbg) backend blocks
+          in
+          let tq = ref 0. and tr = ref 0. and td = ref 0. in
+          let qbytes = ref 0 and rbytes = ref 0 and mults = ref 0 in
+          Array.iter
+            (fun (row, col) ->
+              let r =
+                Instance.fetch ~clock:Unix.gettimeofday
+                  ~rand:(Drbg.rand drbg) ~row ~col inst
+              in
+              assert (String.equal r.Instance.block blocks.(row).(col));
+              assert (
+                r.Instance.predicted.Pb.query_bytes
+                = String.length r.Instance.query_wire);
+              assert (
+                r.Instance.predicted.Pb.response_bytes
+                = String.length r.Instance.response_wire);
+              assert (
+                r.Instance.predicted.Pb.server_mults
+                = r.Instance.measured_server_mults);
+              tq := !tq +. r.Instance.query_s;
+              tr := !tr +. r.Instance.respond_s;
+              td := !td +. r.Instance.decode_s;
+              qbytes := !qbytes + String.length r.Instance.query_wire;
+              rbytes := !rbytes + String.length r.Instance.response_wire;
+              mults := !mults + r.Instance.measured_server_mults)
+            targets;
+          let per x = x /. float_of_int reps in
+          let peri x = float_of_int x /. float_of_int reps in
+          Format.printf
+            "  %3dx%-3d %3dB | %-4s | %9.0f | %10.0f | %12.0f | %10.5f | \
+             %10.5f | %.5f@."
+            rows cols len M.name (peri !qbytes) (peri !rbytes) (peri !mults)
+            (per !tq) (per !tr) (per !td);
+          rows_out :=
+            J.Obj
+              [ "rows", J.Int rows; "cols", J.Int cols; "block_bytes", J.Int len;
+                "backend", J.Str M.name;
+                "mult_unit", J.Str (mult_unit M.mult_kind);
+                "trials", J.Int reps;
+                "query_bytes", J.Float (peri !qbytes);
+                "response_bytes", J.Float (peri !rbytes);
+                "server_mults", J.Float (peri !mults);
+                "query_s", J.Float (per !tq); "respond_s", J.Float (per !tr);
+                "decode_s", J.Float (per !td) ]
+            :: !rows_out)
+        (Registry.all ()))
+    grids;
+  J.write ~path:out
+    (J.Obj
+       ([ "grids", J.List (List.rev !rows_out) ]
+        @ J.gc_fields (Counters.gc_delta ~since:gc0)));
+  Format.printf
+    "@.  Wrote %s.  Mult units differ by backend: gr/qr count@." out;
+  Format.printf
+    "  bignum modular multiplications, lwe counts machine-word multiply-@.";
+  Format.printf
+    "  accumulates — compare shapes per column, not across unit kinds.@.";
+  Format.printf
+    "  Every row asserts predicted = measured for bytes and mults.@.@."
+
+(* ------------------------------------------------------------------ *)
 (* quick: tiny-parameter smoke of every JSON-emitting suite             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1243,7 +1360,8 @@ let quick trials =
   ot ~out:"BENCH_ot.quick.json" ~group:(Schnorr.test_group ()) ~n:8
     ~sweep_grids:[ 4; 8 ] ~search_q_bits:48 trials;
   keypool ~out:"BENCH_keypool.quick.json" ~count:4 ~block_bits:192 ~q_bits:32
-    ~sweep_capacities:[ 1 ] ~sweep_workers:[ 1; 2 ] trials
+    ~sweep_capacities:[ 1 ] ~sweep_workers:[ 1; 2 ] trials;
+  backends_bench ~out:"BENCH_backends.quick.json" ~grids:[ (2, 3, 8) ] trials
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -1322,6 +1440,7 @@ let () =
   | "pir" -> pir trials
   | "ot" -> ot trials
   | "keypool" -> keypool trials
+  | "backends" -> backends_bench trials
   | "quick" -> quick trials
   | "micro" -> micro trials
   | "all" ->
@@ -1341,9 +1460,10 @@ let () =
     pir (max 2 (trials / 2));
     ot (max 2 (trials / 2));
     keypool (max 2 (trials / 2));
+    backends_bench (max 2 (trials / 2));
     micro trials
   | other ->
     Format.eprintf
-      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, pir, ot, keypool, quick, micro, all)@."
+      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, pir, ot, keypool, backends, quick, micro, all)@."
       other;
     exit 2

@@ -2,6 +2,7 @@
 
      lbq demo      one protocol round over a synthetic city
      lbq walk      repeated rounds along a random walk
+     lbq backends  one round through each pluggable PIR backend
      lbq groupgen  generate fresh Schnorr group parameters
      lbq inspect   show a parameter preset and its derived sizes
 
@@ -180,6 +181,102 @@ let walk_cmd =
     Term.(ret (const walk $ preset_arg $ seed_arg $ db_arg $ prewarm_arg $ steps))
 
 (* ------------------------------------------------------------------ *)
+(* backends                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One stage-1 credential, then the same cell fetched through each
+   requested PIR backend: communication, predicted-vs-measured server
+   work, per-phase timings, and a cross-backend agreement check on the
+   decrypted POIs. *)
+let backends preset seed db which x y =
+  let params = params_of_preset ~seed:(seed ^ "-params") preset in
+  let area, pois = build_city ?db ~seed params in
+  Format.printf "Initialising server over %d POIs ...@." (List.length pois);
+  let server = Server.create params ~area pois in
+  let client = Client.create ~seed:(seed ^ "-user") (Server.public_info server) in
+  let arena =
+    Arena.create ~metrics:(Arena.Counters.create ()) ~seed:(seed ^ "-arena")
+      server
+  in
+  let names =
+    match which with
+    | [] -> Arena.names arena
+    | names -> names
+  in
+  match
+    List.find_opt (fun n -> not (List.mem n (Arena.names arena))) names
+  with
+  | Some bad ->
+    `Error
+      (false,
+       Printf.sprintf "unknown backend %S (have: %s)" bad
+         (String.concat ", " (Arena.names arena)))
+  | None ->
+    let side = Coord.Rect.width area in
+    let position =
+      Coord.make
+        ~x:(Float.min (Float.max x 0.) side)
+        ~y:(Float.min (Float.max y 0.) side)
+    in
+    Format.printf "User at %a.@.@." Coord.pp position;
+    let drbg = Drbg.create ~domain:"lbq-backends" ~seed:(seed ^ "-rounds") () in
+    let rand = Drbg.rand drbg in
+    let cell = Client.locate client position in
+    let st1, ot_query = Client.stage1_query client cell in
+    let ot_resp = Server.ot_respond server ot_query in
+    let cred = Client.stage1_decode client st1 ot_resp in
+    Format.printf "Stage 1 credential: cell %d.@.@."
+      (Client.credential_idq cred);
+    let results =
+      List.map
+        (fun name ->
+          let pois, round =
+            Arena.fetch ~clock:Unix.gettimeofday ~rand ~backend:name arena cred
+          in
+          (name, pois, round))
+        names
+    in
+    List.iter
+      (fun (name, pois, (r : Arena.Instance.round)) ->
+        Format.printf
+          "%-4s query %5d B  response %5d B  server mults %8d (predicted \
+           %8d)  query %6.1f ms  respond %6.1f ms  decode %6.1f ms  %d \
+           record(s)@."
+          name
+          (String.length r.Arena.Instance.query_wire)
+          (String.length r.Arena.Instance.response_wire)
+          r.Arena.Instance.measured_server_mults
+          r.Arena.Instance.predicted.Arena.B.server_mults
+          (1000. *. r.Arena.Instance.query_s)
+          (1000. *. r.Arena.Instance.respond_s)
+          (1000. *. r.Arena.Instance.decode_s)
+          (List.length pois))
+      results;
+    (match results with
+     | [] | [ _ ] -> ()
+     | (ref_name, ref_pois, _) :: rest ->
+       let agree =
+         List.for_all (fun (_, pois, _) -> pois = ref_pois) rest
+       in
+       Format.printf "@.Cross-backend agreement with %s: %s@." ref_name
+         (if agree then "OK" else "MISMATCH"));
+    `Ok ()
+
+let backends_cmd =
+  let which =
+    Arg.(value & opt_all string [] & info [ "backend" ] ~docv:"NAME"
+           ~doc:"Stage-2 PIR backend to run (repeatable); default: all \
+                 registered backends (gr, qr, lwe).")
+  in
+  let x = Arg.(value & opt float 1234. & info [ "x" ] ~doc:"User x (metres).") in
+  let y = Arg.(value & opt float 2345. & info [ "y" ] ~doc:"User y (metres).") in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:"Fetch the same cell through each pluggable PIR backend and \
+             compare cost and output.")
+    Term.(ret (const backends $ preset_arg $ seed_arg $ db_arg $ which $ x $ y))
+
+(* ------------------------------------------------------------------ *)
 (* gen-city                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -284,4 +381,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ demo_cmd; walk_cmd; gen_city_cmd; groupgen_cmd; inspect_cmd ]))
+          [ demo_cmd; walk_cmd; backends_cmd; gen_city_cmd; groupgen_cmd;
+            inspect_cmd ]))

@@ -52,6 +52,7 @@ type t = {
   metrics : Counters.t;
   partition : Grid.partition;
   keys : string array;                (* k per private cell *)
+  ciphertexts : string array;         (* encrypted block per private cell *)
   ot : Ot.Server.t;
   pir : Gr.Server.t;
   public : public_info;
@@ -97,12 +98,22 @@ let create ?(metrics = Counters.null) (params : Params.t)
   let public =
     { params; area; public_grid; masked_table = Ot.Server.masked_table ot; plan }
   in
-  { params; metrics; partition; keys; ot; pir; public }
+  { params; metrics; partition; keys; ciphertexts; ot; pir; public }
 
 let public_info t = t.public
 let params t = t.params
 let partition t = t.partition
 let metrics t = t.metrics
+
+(* The encrypted cell blocks as the private grid they tile: row-major,
+   so [.(r).(c)] is the ciphertext of cell IDQ = r * private_cols + c.
+   This is the uniform rows x cols x block-bytes database shape every
+   {!Lbq_pir_backend.Backend_intf.S} implementation encodes, letting the
+   arena re-serve the same database under alternative PIR schemes. *)
+let cipher_blocks t : string array array =
+  let cols = t.params.Params.private_cols in
+  Array.init t.params.Params.private_rows (fun r ->
+      Array.init cols (fun c -> t.ciphertexts.((r * cols) + c)))
 
 (* ------------------------------------------------------------------ *)
 (* Request validation                                                   *)

@@ -36,6 +36,12 @@ val params : t -> Params.t
 val partition : t -> Grid.partition
 val metrics : t -> Counters.t
 
+(** The per-cell encrypted blocks as a row-major [private_rows] x
+    [private_cols] grid ([.(r).(c)] = ciphertext of IDQ [r * cols + c]) —
+    the database shape the pluggable PIR backends encode.  Blocks are
+    uniform at [Params.cell_cipher_bytes] bytes. *)
+val cipher_blocks : t -> string array array
+
 (** {2 Request validation}
 
     Typed rejections for hostile or malformed queries.  The checked

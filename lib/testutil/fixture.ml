@@ -1,0 +1,31 @@
+(* Shared test fixtures: counter hygiene.
+
+   Several suites assert predicted-vs-measured counter equalities; a
+   counter that silently carries state across test cases turns those
+   into flaky cross-suite couplings.  Every metrics-using test case goes
+   through {!with_metrics} (or the {!case} wrapper): it hands the test a
+   counter that is *asserted* clean on entry — not merely assumed — and
+   resets it again on exit, even when the test raises. *)
+
+module Counters = Lbq_metrics.Counters
+
+let zero : Counters.snapshot = Counters.snapshot (Counters.create ())
+
+let is_clean (c : Counters.t) = Counters.snapshot c = zero
+
+(* Fail loudly if [c] carries residue from an earlier case. *)
+let assert_clean ?(what = "metrics") (c : Counters.t) =
+  if not (is_clean c) then
+    Alcotest.failf "%s not clean at test-case entry: %s" what
+      (Format.asprintf "%a" Counters.pp c)
+
+(* Run [f] with a counter guaranteed clean, resetting it afterwards so a
+   shared record can never leak state into the next case. *)
+let with_metrics ?what (f : Counters.t -> 'a) : 'a =
+  let c = Counters.create () in
+  assert_clean ?what c;
+  Fun.protect ~finally:(fun () -> Counters.reset c) (fun () -> f c)
+
+(* A `Quick alcotest case whose body receives a clean counter. *)
+let case name (f : Counters.t -> unit) : unit Alcotest.test_case =
+  Alcotest.test_case name `Quick (fun () -> with_metrics ~what:name f)

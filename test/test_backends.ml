@@ -1,0 +1,324 @@
+(* The cross-backend differential arena: every registered PIR backend
+   (Gentry–Ramzan, the Kushilevitz–Ostrovsky QR baseline, and the
+   small-modulus lattice backend) is driven through identical
+   deterministic grids, seeds and query plans, and checked four ways —
+
+     retrieval correctness      decoded block = the plaintext oracle
+     decode agreement           all backends return byte-identical blocks
+     cost oracle                predicted_cost = measured wire lengths
+                                and measured server-mult counter deltas
+     wire round-trips           decode . encode = id on honest frames,
+                                Malformed on everything else
+
+   plus the edge shapes every backend must survive (1x1, single
+   row/column, non-square, empty and max-size payloads) and adversarial
+   frame tests for the new lattice backend. *)
+
+open Lbq_pir_backend
+module B = Backend_intf
+module Counters = Lbq_metrics.Counters
+module Drbg = Lbq_crypto.Drbg
+module Fixture = Lbq_testutil.Fixture
+
+let backends = Registry.all ()
+
+(* ------------------------------------------------------------------ *)
+(* Shared deterministic inputs                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The plaintext oracle: the grid every backend encodes. *)
+let oracle_blocks ?(tag = 0) ~rows ~cols ~len () =
+  Array.init rows (fun r ->
+      Array.init cols (fun c ->
+          String.init len (fun k ->
+              ((r * 131) + (c * 29) + (k * 7) + tag) land 0xff |> Char.chr)))
+
+(* One deterministic query plan per grid shape, shared verbatim by every
+   backend: the same (row, col) targets in the same order. *)
+let query_plan ~rows ~cols ~count =
+  let drbg = Drbg.create ~seed:(Printf.sprintf "plan-%dx%d" rows cols) () in
+  List.init count (fun _ -> Drbg.int drbg rows, Drbg.int drbg cols)
+
+(* Per-backend client randomness, deterministically derived from the
+   grid shape and backend name (each backend consumes its stream
+   differently, so streams are namespaced but reproducible). *)
+let rand_for ~name ~rows ~cols ~len =
+  Drbg.rand
+    (Drbg.create ~seed:(Printf.sprintf "arena-%s-%dx%dx%d" name rows cols len) ())
+
+(* ------------------------------------------------------------------ *)
+(* The differential drive                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [targets] through one backend over [blocks]; returns the decoded
+   blocks in plan order.  All four assertion families run inline. *)
+let drive (module M : B.S) ~(metrics : Counters.t) (blocks : string array array)
+    (targets : (int * int) list) : string list =
+  let rows = Array.length blocks and cols = Array.length blocks.(0) in
+  let len = String.length blocks.(0).(0) in
+  let rand = rand_for ~name:M.name ~rows ~cols ~len in
+  let server = M.encode ~metrics ~rand blocks in
+  Alcotest.(check int) (M.name ^ " rows") rows (M.rows server);
+  Alcotest.(check int) (M.name ^ " cols") cols (M.cols server);
+  Alcotest.(check int) (M.name ^ " block_len") len (M.block_len server);
+  let public = M.public server in
+  List.map
+    (fun (row, col) ->
+      let label fmt =
+        Printf.ksprintf
+          (fun s -> Printf.sprintf "%s %dx%dx%d (%d,%d): %s" M.name rows cols
+              len row col s)
+          fmt
+      in
+      let client, query = M.query ~metrics ~rand ~public ~row ~col () in
+      (* Wire round-trip: decode . encode = id, bytes and values. *)
+      let qw = M.query_encode query in
+      let query' = M.query_decode qw in
+      Alcotest.(check string) (label "query wire round-trip") qw
+        (M.query_encode query');
+      let before = (Counters.snapshot metrics).Counters.server_mult in
+      let response = M.respond server query' in
+      let measured_mults =
+        (Counters.snapshot metrics).Counters.server_mult - before
+      in
+      let rw = M.response_encode response in
+      let response' = M.response_decode rw in
+      Alcotest.(check string) (label "response wire round-trip") rw
+        (M.response_encode response');
+      (* Cost oracle: predicted = measured, bytes and mults. *)
+      let cost = M.predicted_cost server query in
+      Alcotest.(check int) (label "predicted query bytes") cost.B.query_bytes
+        (String.length qw);
+      Alcotest.(check int) (label "predicted response bytes")
+        cost.B.response_bytes (String.length rw);
+      Alcotest.(check int) (label "predicted server mults") cost.B.server_mults
+        measured_mults;
+      (* Retrieval correctness against the plaintext oracle. *)
+      let block = M.decode client response' in
+      Alcotest.(check string) (label "block = oracle") blocks.(row).(col) block;
+      block)
+    targets
+
+let differential ~rows ~cols ~len ~queries (_ : Counters.t) =
+  let blocks = oracle_blocks ~rows ~cols ~len () in
+  let targets = query_plan ~rows ~cols ~count:queries in
+  let per_backend =
+    List.map
+      (fun (module M : B.S) ->
+        (* A fresh clean counter per backend so one backend's counts can
+           never satisfy (or poison) another backend's oracle check. *)
+        M.name, Fixture.with_metrics (fun metrics ->
+            drive (module M) ~metrics blocks targets))
+      backends
+  in
+  (* Decode agreement: all backends produced byte-identical sequences. *)
+  match per_backend with
+  | [] | [ _ ] -> Alcotest.fail "arena needs at least two backends"
+  | (ref_name, ref_blocks) :: rest ->
+    List.iter
+      (fun (name, their_blocks) ->
+        List.iteri
+          (fun i (b_ref, b_theirs) ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s agrees with %s on query %d" name ref_name i)
+              b_ref b_theirs)
+          (List.combine ref_blocks their_blocks))
+      rest
+
+(* ------------------------------------------------------------------ *)
+(* Grid shapes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let shape_cases =
+  [ (* name, rows, cols, block_len, queries *)
+    "square", 3, 3, 4, 4;
+    "non-square wide", 2, 5, 4, 4;
+    "non-square tall", 4, 2, 3, 4;
+    "1x1 grid", 1, 1, 4, 2;
+    "single row", 1, 5, 4, 3;
+    "single column", 5, 1, 4, 3;
+    "empty payload", 2, 3, 0, 2;
+    "one-byte payload", 2, 2, 1, 3;
+    "wide payload", 2, 2, 48, 2;
+  ]
+
+let shape_tests =
+  List.map
+    (fun (name, rows, cols, len, queries) ->
+      Fixture.case name (differential ~rows ~cols ~len ~queries))
+    shape_cases
+
+(* Max-size payloads: all-0xff blocks sit exactly at the Gr slot
+   capacity boundary (record = 2^(8 len) - 1 < pi) and make every QR
+   bit-plane squaring-free — both worth pinning. *)
+let test_max_payload (_ : Counters.t) =
+  let rows = 2 and cols = 2 and len = 6 in
+  let blocks =
+    Array.init rows (fun _ -> Array.init cols (fun _ -> String.make len '\xff'))
+  in
+  let targets = [ 0, 0; 1, 1; 0, 1 ] in
+  List.iter
+    (fun (module M : B.S) ->
+      Fixture.with_metrics (fun metrics ->
+          ignore (drive (module M) ~metrics blocks targets)))
+    backends
+
+(* ------------------------------------------------------------------ *)
+(* Counter hygiene                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The fixture must hand out genuinely clean counters and reset them
+   afterwards — otherwise every predicted-vs-measured assertion above is
+   one leaked increment away from flaking. *)
+let test_fixture_hygiene () =
+  let seen = ref None in
+  Fixture.with_metrics (fun c ->
+      seen := Some c;
+      Counters.server_mult c 41);
+  (match !seen with
+   | Some c ->
+     Alcotest.(check bool) "reset after use" true (Fixture.is_clean c)
+   | None -> Alcotest.fail "fixture did not run");
+  (* A dirty counter is rejected at entry. *)
+  let dirty = Counters.create () in
+  Counters.user_mult dirty 1;
+  (match Fixture.assert_clean dirty with
+   | exception _ -> ()
+   | () -> Alcotest.fail "dirty counter accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial frames (strict server-side validation)                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_malformed name f =
+  match f () with
+  | exception B.Malformed _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Malformed, got %s" name (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: malformed frame accepted" name
+
+(* Bit-level u32 helper mirrored from the backend wire layer. *)
+let u32 v = String.init 4 (fun k -> Char.chr ((v lsr ((3 - k) * 8)) land 0xff))
+
+(* Every backend must refuse garbage and truncations at the frame layer. *)
+let test_garbage_frames (_ : Counters.t) =
+  List.iter
+    (fun (module M : B.S) ->
+      List.iter
+        (fun frame ->
+          check_malformed (M.name ^ " query garbage") (fun () ->
+              M.query_decode frame);
+          check_malformed (M.name ^ " response garbage") (fun () ->
+              M.response_decode frame))
+        [ ""; "\x00"; "abc"; u32 7; String.make 3 '\xff' ])
+    backends
+
+(* The lattice backend's frame validation, adversarially: each mutation
+   of an honest frame must be rejected, mirroring PR 1's hostile-client
+   server tests. *)
+let lwe : B.backend =
+  match Registry.find "lwe" with
+  | Some b -> b
+  | None -> Alcotest.fail "lwe backend not registered"
+
+let test_lwe_malformed_frames (_ : Counters.t) =
+  let module M = (val lwe) in
+  Fixture.with_metrics (fun metrics ->
+      let rows = 2 and cols = 3 and len = 2 in
+      let blocks = oracle_blocks ~rows ~cols ~len () in
+      let rand = rand_for ~name:"lwe-adversarial" ~rows ~cols ~len in
+      let server = M.encode ~metrics ~rand blocks in
+      let public = M.public server in
+      let _, query = M.query ~metrics ~rand ~public ~row:1 ~col:2 () in
+      let honest = M.query_encode query in
+      (* Truncated / extended frames. *)
+      check_malformed "truncated" (fun () ->
+          M.query_decode (String.sub honest 0 (String.length honest - 1)));
+      check_malformed "extended" (fun () -> M.query_decode (honest ^ "\x00"));
+      (* Count field inconsistent with the payload. *)
+      check_malformed "count too small" (fun () ->
+          M.query_decode (u32 (cols - 1) ^ String.sub honest 4 (4 * cols)));
+      check_malformed "count zero" (fun () -> M.query_decode (u32 0));
+      check_malformed "count huge" (fun () ->
+          M.query_decode (u32 ((1 lsl 20) + 1) ^ String.sub honest 4 (4 * cols)));
+      (* A word with bits above the 30-bit torus modulus. *)
+      check_malformed "word out of range" (fun () ->
+          M.query_decode (u32 cols ^ u32 0xC0000000 ^ String.sub honest 8 8));
+      (* A frame valid in isolation but of the wrong width for this
+         database must be refused by respond, not answered. *)
+      let narrow = M.query_decode (u32 1 ^ u32 123) in
+      check_malformed "respond width" (fun () -> M.respond server narrow);
+      (* Responses validate too (the client is not a bit bucket). *)
+      let resp = M.respond server (M.query_decode honest) in
+      let rw = M.response_encode resp in
+      check_malformed "response truncated" (fun () ->
+          M.response_decode (String.sub rw 0 (String.length rw - 2)));
+      check_malformed "response word range" (fun () ->
+          M.response_decode (u32 1 ^ u32 0x7fffffff)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* Lattice wire messages round-trip and decode correctly under random
+   seeds and random targets. *)
+let props =
+  [ prop "lwe: wire round-trip + retrieval under random seeds" 12
+      (QCheck.make QCheck.Gen.(triple nat (int_range 1 4) (int_range 1 5)))
+      (fun (seed, rows, cols) ->
+        let module M = (val lwe) in
+        Fixture.with_metrics (fun metrics ->
+            let len = 1 + (seed mod 5) in
+            let blocks = oracle_blocks ~tag:seed ~rows ~cols ~len () in
+            let rand =
+              Drbg.rand (Drbg.create ~seed:(Printf.sprintf "lwe-prop-%d" seed) ())
+            in
+            let server = M.encode ~metrics ~rand blocks in
+            let public = M.public server in
+            let row = seed mod rows and col = (seed / 7) mod cols in
+            let client, query = M.query ~metrics ~rand ~public ~row ~col () in
+            let qw = M.query_encode query in
+            let qrt = String.equal qw (M.query_encode (M.query_decode qw)) in
+            let resp = M.respond server (M.query_decode qw) in
+            let rw = M.response_encode resp in
+            let rrt =
+              String.equal rw (M.response_encode (M.response_decode rw))
+            in
+            let ok =
+              String.equal blocks.(row).(col)
+                (M.decode client (M.response_decode rw))
+            in
+            qrt && rrt && ok));
+    prop "arena: all backends agree on random cells" 4
+      (QCheck.make QCheck.Gen.(pair (int_range 1 3) (int_range 1 3)))
+      (fun (rows, cols) ->
+        let blocks = oracle_blocks ~rows ~cols ~len:3 () in
+        let targets = query_plan ~rows ~cols ~count:2 in
+        let outs =
+          List.map
+            (fun (module M : B.S) ->
+              Fixture.with_metrics (fun metrics ->
+                  drive (module M) ~metrics blocks targets))
+            backends
+        in
+        match outs with
+        | [] -> false
+        | first :: rest -> List.for_all (( = ) first) rest);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lbq_backends"
+    [ ("differential",
+       shape_tests @ [ Fixture.case "max-size payload" test_max_payload ]);
+      ("hygiene",
+       [ Alcotest.test_case "fixture counter hygiene" `Quick
+           test_fixture_hygiene ]);
+      ("adversarial",
+       [ Fixture.case "garbage frames" test_garbage_frames;
+         Fixture.case "lwe malformed frames" test_lwe_malformed_frames ]);
+      ("properties", props) ]

@@ -114,6 +114,41 @@ let test_repeated_rounds_same_setup () =
   Alcotest.(check (list poit)) "round 2" (expected_pois p2) r2.Protocol.pois;
   Alcotest.(check (list poit)) "round 1 repeat" (expected_pois p1) r1'.Protocol.pois
 
+(* The pluggable backend arena re-serves the same encrypted cell
+   database under every registered PIR scheme: each must return the
+   same POIs as the canonical Gentry-Ramzan round, with its cost oracle
+   matching the measured server counters through the full protocol. *)
+let test_arena_backends_agree () =
+  let arena =
+    Arena.create ~metrics:(Counters.create ()) ~seed:"test-arena" server
+  in
+  Alcotest.(check (list string)) "registered backends" [ "gr"; "qr"; "lwe" ]
+    (Arena.names arena);
+  let drbg = Lbq_crypto.Drbg.create ~seed:"test-arena-round" () in
+  let rand = Lbq_crypto.Drbg.rand drbg in
+  List.iter
+    (fun position ->
+      List.iter
+        (fun backend ->
+          let pois, round =
+            Arena.run_round ~backend arena client ~position ~rand
+          in
+          Alcotest.(check (list poit))
+            (Format.asprintf "%s %a" backend Coord.pp position)
+            (expected_pois position) pois;
+          Alcotest.(check int) (backend ^ " cost oracle")
+            round.Arena.Instance.predicted.Arena.B.server_mults
+            round.Arena.Instance.measured_server_mults)
+        (Arena.names arena))
+    [ Coord.make ~x:10. ~y:10.; Coord.make ~x:2999. ~y:42. ]
+
+let test_arena_unknown_backend () =
+  let arena = Arena.create ~seed:"test-arena" server in
+  Alcotest.check_raises "unknown backend"
+    (Invalid_argument
+       "Arena.instance: unknown backend \"rsa\" (have: gr, qr, lwe)")
+    (fun () -> ignore (Arena.instance arena ~backend:"rsa"))
+
 (* ------------------------------------------------------------------ *)
 (* Content protection (server security, §IV-B)                          *)
 (* ------------------------------------------------------------------ *)
@@ -760,6 +795,9 @@ let () =
          Alcotest.test_case "every public cell" `Slow test_round_every_public_cell;
          Alcotest.test_case "transcript shape" `Quick test_transcript_shape;
          Alcotest.test_case "repeated rounds" `Quick test_repeated_rounds_same_setup ]);
+      ("arena",
+       [ Alcotest.test_case "backends agree" `Quick test_arena_backends_agree;
+         Alcotest.test_case "unknown backend" `Quick test_arena_unknown_backend ]);
       ("content-protection",
        [ Alcotest.test_case "malicious PIR for other cell" `Quick
            test_malicious_pir_other_cell;

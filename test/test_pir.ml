@@ -1,13 +1,15 @@
-(* Tests for lbq_pir (Gentry-Ramzan) and lbq_qrpir (Kushilevitz-Ostrovsky):
-   the Appendix B worked example digit-by-digit, PIR correctness
-   (Theorem 2), plan structure, tampering detection, and the QR baseline. *)
+(* Tests for lbq_pir (Gentry-Ramzan): the Appendix B worked example
+   digit-by-digit, PIR correctness (Theorem 2), plan structure, tampering
+   detection, and plan-level edge shapes.  The Kushilevitz-Ostrovsky QR
+   baseline lives in test_qrpir; the cross-backend differential arena in
+   test_backends. *)
 
 open Lbq_bignum
 open Lbq_numth
 open Lbq_crypto
 module Gr = Lbq_pir.Gr
-module Qr_pir = Lbq_qrpir.Qr_pir
 module Counters = Lbq_metrics.Counters
+module Fixture = Lbq_testutil.Fixture
 
 let z = Alcotest.testable Z.pp Z.equal
 
@@ -161,8 +163,7 @@ let test_gr_tamper_detection () =
      if Z.equal v (Z.of_int 8) then
        Alcotest.fail "tampered response decoded to the true record")
 
-let test_gr_metrics () =
-  let metrics = Counters.create () in
+let test_gr_metrics (metrics : Counters.t) =
   let plan = Gr.make_plan ~count:4 ~block_bits:32 () in
   let records = Array.init 4 (fun i -> Z.of_int i) in
   let server = Gr.Server.create ~metrics plan records in
@@ -186,6 +187,25 @@ let test_gr_metrics () =
   Alcotest.(check int) "server bytes" el (Counters.snapshot metrics).Counters.server_bytes;
   Alcotest.(check bool) "user mults > 2 exponentiations' worth" true
     ((Counters.snapshot metrics).Counters.user_mult > 0)
+
+(* Plan-level edge shapes (the arena drives the same shapes through the
+   backend signature; these pin them at the raw scheme level). *)
+
+let test_gr_edge_single_slot () =
+  (* A 1x1 grid is a one-slot plan: the CRT degenerates to e = C_0. *)
+  let plan = Gr.make_plan ~count:1 ~block_bits:16 () in
+  let records = [| Z.of_int 54321 |] in
+  let server = Gr.Server.create plan records in
+  Alcotest.check z "e = C_0" records.(0) (Gr.Server.e server);
+  Alcotest.check z "fetch" records.(0) (Gr.fetch ~server ~index:0 ~q_bits:20 rand)
+
+let test_gr_edge_empty_record () =
+  (* Zero-valued records (the empty-payload analogue) round-trip. *)
+  let plan = Gr.make_plan ~count:3 ~block_bits:8 () in
+  let server = Gr.Server.create plan [| Z.zero; Z.of_int 200; Z.zero |] in
+  Alcotest.check z "zero record" Z.zero (Gr.fetch ~server ~index:2 ~q_bits:20 rand);
+  Alcotest.check z "mid record" (Z.of_int 200)
+    (Gr.fetch ~server ~index:1 ~q_bits:20 rand)
 
 (* ------------------------------------------------------------------ *)
 (* Input validation (hardening)                                         *)
@@ -215,66 +235,6 @@ let test_gr_rejects_bad_queries () =
     (fun () -> ignore (Gr.Server.respond server ~n ~g:n))
 
 (* ------------------------------------------------------------------ *)
-(* QR PIR baseline                                                      *)
-(* ------------------------------------------------------------------ *)
-
-let qr_sk = Qr_pir.keygen ~bits:128 rand
-let qr_pk = Qr_pir.public_of_private qr_sk
-
-let test_qr_residue_machinery () =
-  for _ = 1 to 10 do
-    Alcotest.(check bool) "square is QR" true
-      (Qr_pir.is_qr qr_sk (Qr_pir.random_qr qr_pk rand));
-    Alcotest.(check bool) "pseudo-square is not QR" false
-      (Qr_pir.is_qr qr_sk (Qr_pir.random_pseudo_square qr_sk rand))
-  done
-
-let qr_blocks rows cols len =
-  Array.init rows (fun r ->
-      Array.init cols (fun c ->
-          String.init len (fun k -> Char.chr ((r * 37 + c * 11 + k * 3) land 0xff))))
-
-let test_qr_pir_roundtrip () =
-  let rows = 3 and cols = 4 in
-  let blocks = qr_blocks rows cols 4 in
-  let server = Qr_pir.Server.create blocks in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      Alcotest.(check string)
-        (Printf.sprintf "(%d,%d)" r c)
-        blocks.(r).(c)
-        (Qr_pir.fetch ~server ~sk:qr_sk ~row:r ~col:c rand)
-    done
-  done
-
-let test_qr_pir_errors () =
-  Alcotest.check_raises "query col"
-    (Invalid_argument "Qr_pir.Client.query: column out of range") (fun () ->
-      ignore (Qr_pir.Client.query ~sk:qr_sk ~cols:3 ~target_col:3 rand));
-  Alcotest.check_raises "ragged"
-    (Invalid_argument "Qr_pir.Server.create: ragged matrix") (fun () ->
-      ignore
-        (Qr_pir.Server.create [| [| "ab" |]; [| "ab"; "cd" |] |]))
-
-let test_qr_pir_metrics () =
-  let metrics = Counters.create () in
-  let rows = 3 and cols = 4 and len = 2 in
-  let blocks = qr_blocks rows cols len in
-  let server = Qr_pir.Server.create ~metrics blocks in
-  let st, q =
-    Qr_pir.Client.query ~metrics ~sk:qr_sk ~cols ~target_col:1 rand
-  in
-  let planes = Qr_pir.Server.respond server ~n:(Qr_pir.modulus qr_pk) q in
-  let _ = Qr_pir.Client.decode_block st planes ~target_row:2 in
-  let el = (Z.numbits (Qr_pir.modulus qr_pk) + 7) / 8 in
-  Alcotest.(check int) "query bytes = b*L" (cols * el) (Counters.snapshot metrics).Counters.user_bytes;
-  Alcotest.(check int) "answer bytes = a*s*L" (rows * 8 * len * el)
-    (Counters.snapshot metrics).Counters.server_bytes;
-  (* Server mults: >= a*b per plane (squarings make it higher). *)
-  Alcotest.(check bool) "server mults >= a*b*s" true
-    ((Counters.snapshot metrics).Counters.server_mult >= rows * cols * 8 * len)
-
-(* ------------------------------------------------------------------ *)
 (* Properties                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -293,13 +253,6 @@ let props =
         in
         let server = Gr.Server.create plan records in
         Z.equal records.(index) (Gr.fetch ~server ~index ~q_bits:20 rand));
-    prop "qr pir single bits" 10
-      (QCheck.make QCheck.Gen.(pair (int_range 0 2) (int_range 0 3)))
-      (fun (r, c) ->
-        let blocks = qr_blocks 3 4 1 in
-        let server = Qr_pir.Server.create blocks in
-        String.equal blocks.(r).(c)
-          (Qr_pir.fetch ~server ~sk:qr_sk ~row:r ~col:c rand));
   ]
 
 let () =
@@ -316,13 +269,11 @@ let () =
          Alcotest.test_case "e satisfies congruences" `Quick
            test_gr_e_satisfies_congruences;
          Alcotest.test_case "tamper detection" `Quick test_gr_tamper_detection;
-         Alcotest.test_case "metrics" `Quick test_gr_metrics ]);
+         Fixture.case "metrics" test_gr_metrics ]);
+      ("edges",
+       [ Alcotest.test_case "single-slot plan" `Quick test_gr_edge_single_slot;
+         Alcotest.test_case "empty record" `Quick test_gr_edge_empty_record ]);
       ("hardening",
        [ Alcotest.test_case "gr rejects bad queries" `Quick
            test_gr_rejects_bad_queries ]);
-      ("qr-pir",
-       [ Alcotest.test_case "residue machinery" `Quick test_qr_residue_machinery;
-         Alcotest.test_case "roundtrip" `Quick test_qr_pir_roundtrip;
-         Alcotest.test_case "errors" `Quick test_qr_pir_errors;
-         Alcotest.test_case "metrics" `Quick test_qr_pir_metrics ]);
       ("properties", props) ]

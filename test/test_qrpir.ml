@@ -1,0 +1,141 @@
+(* Tests for lbq_qrpir (Kushilevitz–Ostrovsky quadratic-residuosity PIR),
+   split out of test_pir so the Gentry–Ramzan suite and the baseline
+   each own their coverage: residue machinery, block retrieval, input
+   validation, the Table II cost counters (through the clean-counter
+   fixture), and the grid edge shapes the backend arena also drives
+   (1x1, single row/column, non-square, empty and max-size payloads). *)
+
+open Lbq_bignum
+open Lbq_crypto
+module Qr_pir = Lbq_qrpir.Qr_pir
+module Counters = Lbq_metrics.Counters
+module Fixture = Lbq_testutil.Fixture
+
+let drbg = Drbg.create ~seed:"test-qrpir" ()
+let rand = Drbg.rand drbg
+
+let qr_sk = Qr_pir.keygen ~bits:128 rand
+let qr_pk = Qr_pir.public_of_private qr_sk
+
+let test_residue_machinery () =
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "square is QR" true
+      (Qr_pir.is_qr qr_sk (Qr_pir.random_qr qr_pk rand));
+    Alcotest.(check bool) "pseudo-square is not QR" false
+      (Qr_pir.is_qr qr_sk (Qr_pir.random_pseudo_square qr_sk rand))
+  done
+
+let qr_blocks rows cols len =
+  Array.init rows (fun r ->
+      Array.init cols (fun c ->
+          String.init len (fun k ->
+              Char.chr (((r * 37) + (c * 11) + (k * 3)) land 0xff))))
+
+let check_all_cells blocks =
+  let rows = Array.length blocks and cols = Array.length blocks.(0) in
+  let server = Qr_pir.Server.create blocks in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Alcotest.(check string)
+        (Printf.sprintf "(%d,%d)" r c)
+        blocks.(r).(c)
+        (Qr_pir.fetch ~server ~sk:qr_sk ~row:r ~col:c rand)
+    done
+  done
+
+let test_roundtrip () = check_all_cells (qr_blocks 3 4 4)
+
+(* The edge shapes every backend must survive, at the raw scheme level. *)
+let test_edge_1x1 () = check_all_cells (qr_blocks 1 1 3)
+let test_edge_single_row () = check_all_cells (qr_blocks 1 5 2)
+let test_edge_single_col () = check_all_cells (qr_blocks 5 1 2)
+let test_edge_non_square () = check_all_cells (qr_blocks 2 5 3)
+
+(* Zero-length blocks: zero bit-planes, an empty answer, an empty
+   reassembled block — no division by the block length anywhere. *)
+let test_edge_empty_payload () =
+  let blocks = Array.make_matrix 2 3 "" in
+  check_all_cells blocks
+
+(* All-0xff blocks: every matrix bit is 1, so no bit-plane ever squares —
+   the cheapest server case, and the residuosity decode must still see a
+   pseudo-square at every plane of the target row. *)
+let test_edge_max_payload () =
+  let blocks = Array.init 2 (fun _ -> Array.init 2 (fun _ -> String.make 4 '\xff')) in
+  check_all_cells blocks
+
+let test_errors () =
+  Alcotest.check_raises "query col"
+    (Invalid_argument "Qr_pir.Client.query: column out of range") (fun () ->
+      ignore (Qr_pir.Client.query ~sk:qr_sk ~cols:3 ~target_col:3 rand));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Qr_pir.Server.create: ragged matrix") (fun () ->
+      ignore (Qr_pir.Server.create [| [| "ab" |]; [| "ab"; "cd" |] |]))
+
+let test_metrics (metrics : Counters.t) =
+  let rows = 3 and cols = 4 and len = 2 in
+  let blocks = qr_blocks rows cols len in
+  let server = Qr_pir.Server.create ~metrics blocks in
+  let st, q =
+    Qr_pir.Client.query ~metrics ~sk:qr_sk ~cols ~target_col:1 rand
+  in
+  let planes = Qr_pir.Server.respond server ~n:(Qr_pir.modulus qr_pk) q in
+  let _ = Qr_pir.Client.decode_block st planes ~target_row:2 in
+  let el = (Z.numbits (Qr_pir.modulus qr_pk) + 7) / 8 in
+  Alcotest.(check int) "query bytes = b*L" (cols * el)
+    (Counters.snapshot metrics).Counters.user_bytes;
+  Alcotest.(check int) "answer bytes = a*s*L" (rows * 8 * len * el)
+    (Counters.snapshot metrics).Counters.server_bytes;
+  (* Server mults: exactly one accumulate per (plane,row,col) plus one
+     squaring per zero bit — i.e. sum over all of (2 - bit). *)
+  let ones = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun b ->
+          String.iter
+            (fun ch ->
+              let v = ref (Char.code ch) in
+              while !v <> 0 do
+                ones := !ones + (!v land 1);
+                v := !v lsr 1
+              done)
+            b)
+        row)
+    blocks;
+  Alcotest.(check int) "server mults = 2*a*b*s - ones"
+    ((2 * rows * cols * 8 * len) - !ones)
+    (Counters.snapshot metrics).Counters.server_mult
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let props =
+  [ prop "single bits" 10
+      (QCheck.make QCheck.Gen.(pair (int_range 0 2) (int_range 0 3)))
+      (fun (r, c) ->
+        let blocks = qr_blocks 3 4 1 in
+        let server = Qr_pir.Server.create blocks in
+        String.equal blocks.(r).(c)
+          (Qr_pir.fetch ~server ~sk:qr_sk ~row:r ~col:c rand));
+  ]
+
+let () =
+  Alcotest.run "lbq_qrpir"
+    [ ("qr-pir",
+       [ Alcotest.test_case "residue machinery" `Quick test_residue_machinery;
+         Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+         Alcotest.test_case "errors" `Quick test_errors;
+         Fixture.case "metrics" test_metrics ]);
+      ("edges",
+       [ Alcotest.test_case "1x1" `Quick test_edge_1x1;
+         Alcotest.test_case "single row" `Quick test_edge_single_row;
+         Alcotest.test_case "single column" `Quick test_edge_single_col;
+         Alcotest.test_case "non-square" `Quick test_edge_non_square;
+         Alcotest.test_case "empty payload" `Quick test_edge_empty_payload;
+         Alcotest.test_case "max payload" `Quick test_edge_max_payload ]);
+      ("properties", props) ]
