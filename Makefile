@@ -16,17 +16,20 @@ test-fast:
 	dune build @backends
 
 # Tiny-parameter smoke of every JSON-emitting bench suite
-# (faults/pir/ot/keypool/backends): same code paths and assertions as
-# the full suites, toy sizes, BENCH_*.quick.json artifacts.
+# (powm/faults/pir/ot/keypool/backends): same code paths and assertions
+# as the full suites, toy sizes, BENCH_*.quick.json artifacts.
 bench-quick:
 	dune exec bench/main.exe -- quick 1
 
 # The tier-1 gate plus the bench smoke: builds everything, runs the full
-# test suite, and drives every bench suite once at toy parameters.
+# test suite, drives every bench suite once at toy parameters, and
+# gates on the limb-engine summary (powm speedup floor + allocation
+# budget, read back from BENCH_powm.quick.json).
 check:
 	dune build @all
 	dune runtest
 	$(MAKE) bench-quick
+	dune exec bench/main.exe -- powm-guard
 
 # Benchmarks run under the release profile (flambda-style optimisation,
 # no assertions stripped that matter here) so timings reflect deployment:
@@ -35,6 +38,7 @@ check:
 # BENCH_keypool.json and BENCH_backends.json.
 bench:
 	dune build --profile release bench/main.exe
+	dune exec --profile release bench/main.exe -- powm 5
 	dune exec --profile release bench/main.exe -- faults 2
 	dune exec --profile release bench/main.exe -- pir 3
 	dune exec --profile release bench/main.exe -- ot 3

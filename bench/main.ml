@@ -16,6 +16,13 @@
                      duplication, reorder, latency spikes), with retries
                      under the default backoff policy; emits
                      BENCH_faults.json
+     powm            Limb-engine microbenchmark: fused CIOS Montgomery
+                     kernels (mul/sqr/powm) vs the pre-rewrite reference
+                     engine — ns/op, speedup and minor words/op per
+                     modulus size; emits BENCH_powm.json
+     powm-guard      make-check gate: asserts BENCH_powm.quick.json's
+                     worst powm speedup >= 1.5x and kernel allocation
+                     within budget
      pir             Stage-2 hot path: powm engine ablation (fixed-window
                      Barrett / sliding Barrett / Montgomery + cached
                      recoding), updated Table II closed-form assertion,
@@ -1347,6 +1354,188 @@ let backends_bench ?(out = "BENCH_backends.json")
     "  Every row asserts predicted = measured for bytes and mults.@.@."
 
 (* ------------------------------------------------------------------ *)
+(* powm: limb-engine kernel microbenchmark, old vs new                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The limb-level engine rewrite head-to-head with the engine it
+   replaced, on matched inputs: ns/op and minor-heap words/op for the
+   Montgomery kernel multiply and squaring and for a full window-ladder
+   powm, per modulus size — 512 and 1024 (the stage-1 Schnorr prime),
+   1331 (the stage-2 honest modulus N = Q0*Q1) and 2048 bits.  Old =
+   the pre-rewrite multiply-then-REDC paths kept verbatim as
+   [Montgomery.*_reference]; new = the fused 2^29-radix CIOS sweeps.
+   The two engines' powm results are asserted byte-identical before any
+   timing.  Emits a summary block plus per-(size, op) rows;
+   [powm_guard] (make check) gates on the quick artifact's summary. *)
+let powm_bench ?(out = "BENCH_powm.json") ?(sizes = [ 512; 1024; 1331; 2048 ])
+    ?(powm_iters = 3) ?(kernel_iters = 400) trials =
+  Format.printf
+    "=== powm kernel: fused CIOS engine vs pre-rewrite reference (%d trials) ===@.@."
+    trials;
+  let drbg = Drbg.create ~seed:"bench-powm" () in
+  let rand = Drbg.rand drbg in
+  (* Min-of-trials wall time (the machine only ever adds noise); words
+     per op from the last repetition (allocation is deterministic).
+     [Gc.minor_words] rather than [quick_stat]: only the former reads
+     the young pointer and is exact in native code. *)
+  let measure iters f =
+    let best_ns = ref infinity and words = ref 0. in
+    for _ = 1 to max 1 trials do
+      let w0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (f ())
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let w1 = Gc.minor_words () in
+      let ns = dt *. 1e9 /. float_of_int iters in
+      if ns < !best_ns then best_ns := ns;
+      words := (w1 -. w0) /. float_of_int iters
+    done;
+    (!best_ns, !words)
+  in
+  let rows = ref [] in
+  let min_powm_speedup = ref infinity in
+  let max_kernel_words = ref 0. in
+  Format.printf "  %-5s | %-7s | %12s | %12s | %8s | %10s@." "bits" "op"
+    "old (ns)" "new (ns)" "speedup" "new w/op";
+  Format.printf "  %s@." (String.make 66 '-');
+  List.iter
+    (fun bits ->
+      (* Random odd modulus of exactly [bits] bits and full-width
+         operands: short residues would time a shorter multiply. *)
+      let rec modulus () =
+        let c = Z.random_bits ~bits rand in
+        if Z.numbits c < bits then modulus ()
+        else if Z.is_even c then Z.succ c
+        else c
+      in
+      let m = modulus () in
+      let ctx = Montgomery.create m in
+      let a = Z.erem (Z.random_bits ~bits rand) m in
+      let b = Z.erem (Z.random_bits ~bits rand) m in
+      let e = Z.random_bits ~bits rand in
+      let sched = Wexp.recode (Z.to_nat e) in
+      let znew = Montgomery.powm_sched ctx a sched in
+      let zold = Montgomery.powm_sched_reference ctx a sched in
+      if not (Z.equal znew zold) then
+        failwith "bench powm: engines disagree at the gate";
+      let am = Montgomery.to_mont ctx a in
+      let bm = Montgomery.to_mont ctx b in
+      let ops =
+        [ ("powm", powm_iters,
+           (fun () -> ignore (Montgomery.powm_sched ctx a sched)),
+           fun () -> ignore (Montgomery.powm_sched_reference ctx a sched));
+          ("mulmod", kernel_iters,
+           (fun () -> ignore (Montgomery.mont_mul ctx am bm)),
+           fun () -> ignore (Montgomery.mont_mul_reference ctx am bm));
+          ("sqrmod", kernel_iters,
+           (fun () -> ignore (Montgomery.mont_sqr ctx am)),
+           fun () -> ignore (Montgomery.mont_sqr_reference ctx am)) ]
+      in
+      List.iter
+        (fun (op, iters, fnew, fold) ->
+          let new_ns, new_words = measure iters fnew in
+          let old_ns, old_words = measure iters fold in
+          let speedup = old_ns /. new_ns in
+          if op = "powm" && speedup < !min_powm_speedup then
+            min_powm_speedup := speedup;
+          if op <> "powm" && new_words > !max_kernel_words then
+            max_kernel_words := new_words;
+          Format.printf "  %-5d | %-7s | %12.1f | %12.1f | %7.2fx | %10.1f@."
+            bits op old_ns new_ns speedup new_words;
+          rows :=
+            J.Obj
+              [ "bits", J.Int bits; "op", J.Str op; "iters", J.Int iters;
+                "old_ns_per_op", J.Float old_ns;
+                "new_ns_per_op", J.Float new_ns;
+                "speedup", J.Float speedup;
+                "old_minor_words_per_op", J.Float old_words;
+                "new_minor_words_per_op", J.Float new_words ]
+            :: !rows)
+        ops)
+    sizes;
+  J.write ~path:out
+    (J.Obj
+       [ ("summary",
+          J.Obj
+            [ "min_powm_speedup", J.Float !min_powm_speedup;
+              "max_kernel_minor_words_per_op", J.Float !max_kernel_words;
+              "trials", J.Int trials ]);
+         "rows", J.List (List.rev !rows) ]);
+  Format.printf
+    "@.  Wrote %s.  Worst powm speedup %.2fx; kernel allocation@." out
+    !min_powm_speedup;
+  Format.printf
+    "  peaks at %.1f minor words/op (the fused sweeps run entirely in@."
+    !max_kernel_words;
+  Format.printf "  Scratch windows; only the narrowed result is fresh).@.@."
+
+(* make-check gate on the limb-engine rewrite: reads the summary block
+   of the quick artifact (written by `quick` moments earlier in `make
+   check`) and fails if the fused engine's advantage erodes below the
+   quick floor or the kernels start allocating per iteration.  The full
+   BENCH_powm.json targets >= 2x at deployment sizes; the quick floor
+   is deliberately lower (tiny iteration counts on a shared machine). *)
+let powm_guard ?(path = "BENCH_powm.quick.json") () =
+  let speedup_floor = 1.5 and words_budget = 256. in
+  let s =
+    match open_in_bin path with
+    | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    | exception Sys_error _ ->
+      Format.eprintf "powm-guard: %s missing (run `make bench-quick`)@." path;
+      exit 2
+  in
+  (* The artifact is our own emitter's output: scan for the summary key
+     and parse the number after the colon. *)
+  let float_after key =
+    let key = "\"" ^ key ^ "\"" in
+    let kl = String.length key and sl = String.length s in
+    let rec find i =
+      if i + kl > sl then None
+      else if String.sub s i kl = key then begin
+        let j = ref (i + kl) in
+        while
+          !j < sl && (match s.[!j] with ' ' | ':' -> true | _ -> false)
+        do
+          incr j
+        done;
+        let st = !j in
+        while
+          !j < sl
+          && (match s.[!j] with
+             | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        float_of_string_opt (String.sub s st (!j - st))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let need key =
+    match float_after key with
+    | Some v -> v
+    | None ->
+      Format.eprintf "powm-guard: %s has no %s field@." path key;
+      exit 2
+  in
+  let speedup = need "min_powm_speedup" in
+  let words = need "max_kernel_minor_words_per_op" in
+  let ok_speed = speedup >= speedup_floor in
+  let ok_words = words <= words_budget in
+  Format.printf "  powm-guard: min powm speedup %.2fx (floor %.1fx) %s@."
+    speedup speedup_floor (if ok_speed then "OK" else "FAIL");
+  Format.printf "  powm-guard: kernel minor words/op %.1f (budget %.0f) %s@."
+    words words_budget (if ok_words then "OK" else "FAIL");
+  if not (ok_speed && ok_words) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* quick: tiny-parameter smoke of every JSON-emitting suite             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1355,6 +1544,8 @@ let backends_bench ?(out = "BENCH_backends.json")
    JSON emitters and the bench-level assertions stay exercised without
    paper-scale run times. *)
 let quick trials =
+  powm_bench ~out:"BENCH_powm.quick.json" ~sizes:[ 512; 1024 ] ~powm_iters:2
+    ~kernel_iters:200 trials;
   faults ~out:"BENCH_faults.quick.json" ~rates:[ 0.; 0.1 ] trials;
   pir ~out:"BENCH_pir.quick.json" ~count:16 ~block_bits:256 ~q_bits:48 trials;
   ot ~out:"BENCH_ot.quick.json" ~group:(Schnorr.test_group ()) ~n:8
@@ -1437,6 +1628,8 @@ let () =
   | "throughput" -> throughput trials
   | "comms" -> comms trials
   | "faults" -> faults trials
+  | "powm" -> powm_bench trials
+  | "powm-guard" -> powm_guard ()
   | "pir" -> pir trials
   | "ot" -> ot trials
   | "keypool" -> keypool trials
@@ -1457,6 +1650,7 @@ let () =
     throughput (max 8 trials);
     comms trials;
     faults (max 2 (trials / 2));
+    powm_bench (max 2 (trials / 2));
     pir (max 2 (trials / 2));
     ot (max 2 (trials / 2));
     keypool (max 2 (trials / 2));
@@ -1464,6 +1658,6 @@ let () =
     micro trials
   | other ->
     Format.eprintf
-      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, pir, ot, keypool, backends, quick, micro, all)@."
+      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, powm, powm-guard, pir, ot, keypool, backends, quick, micro, all)@."
       other;
     exit 2

@@ -62,23 +62,109 @@ let reduce_nat t (x : Nat.t) : Nat.t =
     r
   end
 
+(* Windowed reduction: the same HAC 14.42 dataflow as [reduce_nat], but
+   over a double-width product that already lives in the [Scratch]
+   window [px] (at least 2k limbs, zero-padded above the product).  The
+   shifts become window offsets — q1 is px read at limb k-1 — and the
+   q1*mu / q3*m products are accumulated in place with
+   [Nat.addmul_off]/[Nat.addmul_off_trunc], so the only allocation left
+   on a steady-state mulmod/sqrmod is its (<= k+1 limb) result. *)
+let reduce_window t (px : int array) : Nat.t =
+  let k = t.k in
+  let kp1 = k + 1 in
+  (* q2 = q1 * mu with q1 = x >> (k-1) limbs: mu has at most k+2 limbs
+     (mu <= B^(k+1), with equality when m = B^(k-1)), so q2 < B^(2k+3). *)
+  let qlen = (2 * k) + 3 in
+  let qbuf = Scratch.get ~slot:Scratch.barrett_qmu qlen in
+  Array.fill qbuf 0 qlen 0;
+  let mu = t.mu in
+  for j = 0 to Array.length mu - 1 do
+    Nat.addmul_off qbuf j px (k - 1) kp1 (Array.unsafe_get mu j)
+  done;
+  (* r2 = low k+1 limbs of q3 * m, with q3 = q2 >> (k+1) limbs read as a
+     window of qbuf (q3 < B^(k+1), so k+1 limbs cover it). *)
+  let rbuf = Scratch.get ~slot:Scratch.barrett_r (kp1 + 1) in
+  Array.fill rbuf 0 (kp1 + 1) 0;
+  let m = t.m_nat in
+  for j = 0 to k - 1 do
+    Nat.addmul_off_trunc rbuf j qbuf kp1 kp1 (Array.unsafe_get m j) ~cut:kp1
+  done;
+  (* r = (r1 - r2) mod B^(k+1) with r1 = low k+1 limbs of x: dropping
+     the final borrow IS the +B^(k+1) wraparound of [reduce_nat]. *)
+  let mask = Nat.mask in
+  let borrow = ref 0 in
+  for i = 0 to k do
+    let d = Array.unsafe_get px i - Array.unsafe_get rbuf i - !borrow in
+    Array.unsafe_set rbuf i (d land mask);
+    borrow := (d lsr 62) land 1
+  done;
+  (* At most two final corrections (HAC 14.42 note). *)
+  let ge_m () =
+    rbuf.(k) <> 0
+    ||
+    let rec cmp i =
+      if i < 0 then true
+      else
+        let ri = Array.unsafe_get rbuf i and mi = Array.unsafe_get m i in
+        if ri > mi then true else if ri < mi then false else cmp (i - 1)
+    in
+    cmp (k - 1)
+  in
+  let sub_m () =
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let d = Array.unsafe_get rbuf i - Array.unsafe_get m i - !borrow in
+      Array.unsafe_set rbuf i (d land mask);
+      borrow := (d lsr 62) land 1
+    done;
+    rbuf.(k) <- rbuf.(k) - !borrow
+  in
+  if ge_m () then sub_m ();
+  if ge_m () then sub_m ();
+  let len = ref kp1 in
+  while !len > 0 && rbuf.(!len - 1) = 0 do
+    decr len
+  done;
+  Array.sub rbuf 0 !len
+
 let to_nat t z = Z.to_nat (Z.erem z t.modulus)
 let of_nat (n : Nat.t) : Z.t = Z.of_nat n
 
 let reduce t z = of_nat (reduce_nat t (to_nat t z))
 
-(* Modular multiplication of already-reduced residues. *)
+(* Modular multiplication of already-reduced residues: product into the
+   scratch window, windowed reduction.  Oversized operands (not actually
+   reduced) take the allocating [reduce_nat] path unchanged. *)
 let mulmod_nat t a b =
   (match t.tick with Some r -> incr r | None -> ());
-  reduce_nat t (Nat.mul a b)
+  let la = Array.length a and lb = Array.length b in
+  if la > t.k || lb > t.k then reduce_nat t (Nat.mul a b)
+  else if la = 0 || lb = 0 then Nat.zero
+  else begin
+    let plen = (2 * t.k) + 1 in
+    let px = Scratch.get ~slot:Scratch.barrett_prod plen in
+    Nat.mul_into px a la b lb;
+    Array.fill px (la + lb) (plen - la - lb) 0;
+    reduce_window t px
+  end
 
 let mulmod t a b = of_nat (mulmod_nat t (to_nat t a) (to_nat t b))
 
-(* Modular squaring: Nat.sqr computes each symmetric cross product once,
-   about half the limb work of [Nat.mul a a]. *)
+(* Modular squaring: the half-product scheme of [Nat.sqr_into] computes
+   each symmetric cross product once, about half the limb work of a
+   general product. *)
 let sqrmod_nat t a =
   (match t.tick with Some r -> incr r | None -> ());
-  reduce_nat t (Nat.sqr a)
+  let la = Array.length a in
+  if la > t.k then reduce_nat t (Nat.sqr a)
+  else if la = 0 then Nat.zero
+  else begin
+    let plen = (2 * t.k) + 1 in
+    let px = Scratch.get ~slot:Scratch.barrett_prod plen in
+    Nat.sqr_into px a la;
+    Array.fill px (2 * la) (plen - (2 * la)) 0;
+    reduce_window t px
+  end
 
 let sqrmod t a =
   let a = to_nat t a in

@@ -1,47 +1,134 @@
-(* Montgomery modular arithmetic (REDC), an alternative reduction engine
-   to {!Barrett} for odd moduli.  Operands live in Montgomery form
-   (a * R mod n with R = B^k); one REDC costs one schoolbook product plus
-   one k-limb sweep, which beats Barrett's two reciprocal products on
-   exponentiation-heavy workloads.  The bench harness compares the two
-   (`bench/main.exe ablate-mulengine`), and {!Gr.Server.respond} uses this
-   engine by default since honest stage-2 moduli N = Q0*Q1 are odd. *)
+(* Montgomery modular arithmetic for odd moduli, an alternative reduction
+   engine to {!Barrett}.  Operands live in Montgomery form (a * R mod n);
+   {!Gr.Server.respond} uses this engine by default since honest stage-2
+   moduli N = Q0*Q1 are odd.
+
+   The hot core is word-level CIOS (coarsely integrated operand
+   scanning) at an internal radix of 2^29, wider than {!Nat}'s global
+   2^26: limb products of 29-bit digits still fit a 63-bit OCaml int
+   with room to accumulate four products plus carries per column, which
+   lets the sweep process TWO operand digits per pass (halving the
+   iteration count, where loop overhead — not the multiplies — is what
+   dominates on boxed-int bignum code).  Residues are repacked 26 <-> 29
+   bits only at the engine boundary; R = 2^(29*k) for the engine's
+   even window width k.
+
+   Multiplication [cios2_into] fuses product and REDC reduction in one
+   sweep: each pass consumes b_i, b_{i+1}, picks the two Montgomery
+   quotient digits m0, m1 that zero the bottom columns, and every inner
+   column accumulates a_j*b_i + a_{j-1}*b_{i+1} + m0*n_j + m1*n_{j-1}
+   before shifting down two limbs.  The invariant t < 2n keeps the
+   accumulator in k+1 limbs.
+
+   Squaring [sqr2_into] is the dedicated path the window ladders spend
+   ~5/6 of their time in: pass i contributes
+     a_i^2*B^i + 2*a_i * sum_{j>i} a_j*B^j
+   so each symmetric cross product is computed once and doubled — 1.5k^2
+   limb products against the multiply's 2k^2.  Front-loading the doubled
+   terms relaxes the accumulator invariant to t < 3n (top limb <= 2, up
+   to two trailing subtractions), which [reduce_out] absorbs.
+
+   All intermediates live in per-domain {!Scratch} slots, so a
+   steady-state [powm_sched] ladder performs its thousands of modular
+   operations without allocating a word per iteration.
+
+   The pre-rewrite multiply-then-REDC engine survives untouched as
+   [*_reference] (in 26-bit {!Nat} arithmetic with its own R): the
+   crosscheck property tests assert the two engines agree on every
+   Z-level result, and [bench powm] measures old vs new on the same
+   schedules. *)
 
 let limb_bits = Nat.limb_bits
 let base = Nat.base
 let mask = Nat.mask
 
+(* Engine radix: 29-bit digits.  4 * (2^29 - 1)^2 + carries < 2^62, so a
+   column can take four limb products in one 63-bit int. *)
+let elb = 29
+let ebase = 1 lsl elb
+let emask = ebase - 1
+
 type t = {
   modulus : Z.t;
-  n : Nat.t;          (* the modulus, k limbs, odd *)
+  (* Reference-engine fields, 26-bit {!Nat} radix with R = B^k. *)
+  n : Nat.t;          (* the modulus, exactly k limbs, odd *)
   k : int;
   n' : int;           (* -n^{-1} mod B *)
   r2 : Nat.t;         (* R^2 mod n, for conversion into Montgomery form *)
   one_m : Nat.t;      (* R mod n = Montgomery form of 1 *)
+  (* Fused-engine fields, 29-bit radix with Re = 2^(29*ke). *)
+  ke : int;           (* engine window width: even, >= 4 *)
+  ne : int array;     (* modulus as ke 29-bit digits (may have zero top) *)
+  n'e : int;          (* -n^{-1} mod 2^29 *)
+  r2e : int array;    (* Re^2 mod n as a ke-digit window *)
   mutable tick : int ref option;
     (* optional modular-multiplication counter, mirroring {!Barrett} *)
 }
 
-(* Inverse of an odd limb modulo B, by Hensel lifting. *)
-let inv_limb (n0 : int) : int =
+(* Inverse of an odd digit modulo 2^bits (bits <= 32), by Hensel lifting:
+   six doublings of precision from 1 bit cover 64. *)
+let inv_digit ~(dmask : int) (n0 : int) : int =
   let x = ref 1 in
   for _ = 1 to 6 do
-    x := (!x * (2 - (n0 * !x land mask))) land mask
+    x := (!x * (2 - (n0 * !x land dmask))) land dmask
   done;
-  assert ((n0 * !x) land mask = 1);
+  assert ((n0 * !x) land dmask = 1);
   !x
+
+(* Little-endian bit-stream repack between limb radices.  Source digits
+   must be in range; destination is fully overwritten.  The accumulator
+   never exceeds src_lb + dst_lb - 1 <= 57 bits. *)
+let repack ~(src : int array) ~(src_len : int) ~(src_lb : int)
+    ~(dst : int array) ~(dst_len : int) ~(dst_lb : int) =
+  let dmask = (1 lsl dst_lb) - 1 in
+  let acc = ref 0 and nbits = ref 0 and di = ref 0 in
+  for i = 0 to src_len - 1 do
+    acc := !acc lor (Array.unsafe_get src i lsl !nbits);
+    nbits := !nbits + src_lb;
+    while !nbits >= dst_lb do
+      if !di < dst_len then Array.unsafe_set dst !di (!acc land dmask);
+      incr di;
+      acc := !acc lsr dst_lb;
+      nbits := !nbits - dst_lb
+    done
+  done;
+  while !di < dst_len do
+    Array.unsafe_set dst !di (!acc land dmask);
+    acc := !acc lsr dst_lb;
+    incr di
+  done
+
+(* Canonical 26-bit residue (< n) -> fresh ke-digit engine window. *)
+let widen t (a : Nat.t) : int array =
+  let w = Array.make t.ke 0 in
+  repack ~src:a ~src_len:(Array.length a) ~src_lb:limb_bits ~dst:w
+    ~dst_len:t.ke ~dst_lb:elb;
+  w
+
+let widen_into t (w : int array) (a : Nat.t) =
+  repack ~src:a ~src_len:(Array.length a) ~src_lb:limb_bits ~dst:w
+    ~dst_len:t.ke ~dst_lb:elb
+
+(* Engine window (value < n) -> canonical 26-bit Nat. *)
+let narrow t (w : int array) : Nat.t =
+  let len26 = ((t.ke * elb) + limb_bits - 1) / limb_bits in
+  let out = Array.make len26 0 in
+  repack ~src:w ~src_len:t.ke ~src_lb:elb ~dst:out ~dst_len:len26
+    ~dst_lb:limb_bits;
+  Nat.normalize out
 
 let create (modulus : Z.t) : t =
   if Z.sign modulus <= 0 then invalid_arg "Montgomery.create: modulus <= 0";
   if Z.is_even modulus then invalid_arg "Montgomery.create: modulus must be odd";
   let n = Z.to_nat modulus in
   let k = Array.length n in
-  let n' = (base - inv_limb n.(0)) land mask in
-  (* R mod n and R^2 mod n by repeated modular doubling instead of a
-     2k-limb product + Knuth division: per-query context setup matters
-     because the server builds one context per stage-2 query.  Start from
-     B^(k-1), which is below the k-limb odd n (n = B^(k-1) would be even);
-     limb_bits doublings reach R = B^k mod n, and k*limb_bits more reach
-     R^2 = R * 2^(k*limb_bits) mod n. *)
+  let n' = (base - inv_digit ~dmask:mask n.(0)) land mask in
+  (* Reference R mod n and R^2 mod n by repeated modular doubling instead
+     of a 2k-limb product + Knuth division: per-query context setup
+     matters because the server builds one context per stage-2 query.
+     Start from B^(k-1), which is below the k-limb odd n (n = B^(k-1)
+     would be even); limb_bits doublings reach R = B^k mod n, and
+     k*limb_bits more reach R^2 = R * 2^(k*limb_bits) mod n. *)
   let buf = Array.make (k + 1) 0 in
   if k = 1 then buf.(0) <- 1 mod n.(0)  (* n = 1: the ring is trivial *)
   else buf.(k - 1) <- 1;
@@ -76,9 +163,60 @@ let create (modulus : Z.t) : t =
   let one_m = Nat.normalize (Array.sub buf 0 k) in
   for _ = 1 to k * limb_bits do double_mod () done;
   let r2 = Nat.normalize (Array.sub buf 0 k) in
-  { modulus; n; k; n'; r2; one_m; tick = None }
+  (* Fused-engine setup at radix 2^29.  The window is rounded up to an
+     even width >= 4: the 2-way sweeps consume digit pairs, and the
+     squaring peels its last pass.  Padding digits of n are zero, which
+     the sweeps tolerate (t < 2n still fits k+1 digits). *)
+  let bits = Z.numbits modulus in
+  let ke =
+    let m = (bits + elb - 1) / elb in
+    let m = if m land 1 = 1 then m + 1 else m in
+    if m < 4 then 4 else m
+  in
+  let ne = Array.make ke 0 in
+  repack ~src:n ~src_len:k ~src_lb:limb_bits ~dst:ne ~dst_len:ke ~dst_lb:elb;
+  let n'e = (ebase - inv_digit ~dmask:emask ne.(0)) land emask in
+  let r2e =
+    if Z.equal modulus Z.one then Array.make ke 0
+    else begin
+      (* Start from 2^(bits-1) < n (n odd, n >= 3) and double up to
+         Re^2 = 2^(2 * 29 * ke) mod n. *)
+      let e = 29 * ke in
+      let buf = Array.make (ke + 1) 0 in
+      buf.((bits - 1) / elb) <- 1 lsl ((bits - 1) mod elb);
+      let ge_n () =
+        buf.(ke) <> 0
+        ||
+        let rec go i =
+          i < 0 || (if buf.(i) <> ne.(i) then buf.(i) > ne.(i) else go (i - 1))
+        in
+        go (ke - 1)
+      in
+      let sub_n () =
+        let borrow = ref 0 in
+        for i = 0 to ke - 1 do
+          let t = buf.(i) - ne.(i) - !borrow in
+          buf.(i) <- t land emask;
+          borrow := (t lsr elb) land 1
+        done;
+        buf.(ke) <- buf.(ke) - !borrow
+      in
+      for _ = 1 to (2 * e) - (bits - 1) do
+        let carry = ref 0 in
+        for i = 0 to ke do
+          let t = (buf.(i) lsl 1) lor !carry in
+          buf.(i) <- t land emask;
+          carry := t lsr elb
+        done;
+        if ge_n () then sub_n ()
+      done;
+      Array.sub buf 0 ke
+    end
+  in
+  { modulus; n; k; n'; r2; one_m; ke; ne; n'e; r2e; tick = None }
 
 let modulus t = t.modulus
+let k_limbs t = t.ke
 
 (* Attach or detach a per-multiplication counter, as in {!Barrett}. *)
 let set_counter t c = t.tick <- c
@@ -88,8 +226,10 @@ let counting t r f =
   t.tick <- Some r;
   Fun.protect ~finally:(fun () -> t.tick <- saved) f
 
-(* REDC(T) = T * R^{-1} mod n for T < n * R: zero the low k limbs by
-   adding multiples of n, then drop them. *)
+let tick t = match t.tick with Some r -> incr r | None -> ()
+
+(* REDC(T) = T * R^{-1} mod n for T < n * R in 26-bit radix: the
+   pre-rewrite reduction, kept verbatim for the [*_reference] engine. *)
 let redc t (tt : Nat.t) : Nat.t =
   let buf = Array.make ((2 * t.k) + 1) 0 in
   Array.blit tt 0 buf 0 (Array.length tt);
@@ -101,42 +241,365 @@ let redc t (tt : Nat.t) : Nat.t =
   let hi = Nat.normalize (Array.sub buf t.k (t.k + 1)) in
   if Nat.compare hi t.n >= 0 then Nat.sub hi t.n else hi
 
+(* ------------------------------------------------------------------ *)
+(* The fused 29-bit CIOS core                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared epilogue: buf[off .. off+k] holds a value < 3n (multiply keeps
+   it < 2n; the symmetric squaring's front-loaded doubles reach < 3n).
+   Subtract n while >= n — at most twice — writing the canonical
+   residue into dst[0..ke-1].  [dst] may overlap [buf]. *)
+let reduce_out t (dst : int array) (buf : int array) (off : int) =
+  let k = t.ke and n = t.ne in
+  let ge () =
+    Array.unsafe_get buf (off + k) <> 0
+    || (let rec go i =
+          i < 0
+          || (let bi = Array.unsafe_get buf (off + i)
+              and ni = Array.unsafe_get n i in
+              if bi <> ni then bi > ni else go (i - 1))
+        in
+        go (k - 1))
+  in
+  while ge () do
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let u = Array.unsafe_get buf (off + i) - Array.unsafe_get n i - !borrow in
+      Array.unsafe_set buf (off + i) (u land emask);
+      borrow := (u lsr elb) land 1
+    done;
+    Array.unsafe_set buf (off + k) (Array.unsafe_get buf (off + k) - !borrow)
+  done;
+  if dst != buf || off <> 0 then Array.blit buf off dst 0 k
+
+(* dst[0..ke-1] <- a * b * Re^{-1} mod n by one fused 2-way CIOS sweep.
+   [a] and [b] are ke-digit windows of residues < n; [dst] may alias
+   either input (both are consumed before dst is written).  Each pass
+   eats b_i and b_{i+1}: quotient digits m0, m1 zero the two bottom
+   columns, the inner loop accumulates four products per column
+   (< 2^61 with carries) and shifts the window down two digits.
+   Previous-digit operands roll through locals to save loads. *)
+let cios2_into t (dst : int array) (a : int array) (b : int array) =
+  let k = t.ke and nn = t.ne and n' = t.n'e in
+  let w = Scratch.get ~slot:Scratch.mont_acc (k + 2) in
+  Array.fill w 0 (k + 1) 0;
+  let n0 = Array.unsafe_get nn 0 and n1 = Array.unsafe_get nn 1 in
+  let i = ref 0 in
+  while !i < k do
+    let bi = Array.unsafe_get b !i and bi1 = Array.unsafe_get b (!i + 1) in
+    let a0 = Array.unsafe_get a 0 in
+    let t0 = Array.unsafe_get w 0 + (a0 * bi) in
+    let m0 = ((t0 land emask) * n') land emask in
+    let c = (t0 + (m0 * n0)) lsr elb in
+    let a1 = Array.unsafe_get a 1 in
+    let t1 = Array.unsafe_get w 1 + (a1 * bi) + (m0 * n1) + (a0 * bi1) + c in
+    let m1 = ((t1 land emask) * n') land emask in
+    let carry = ref ((t1 + (m1 * n0)) lsr elb) in
+    let aprev = ref a1 and nprev = ref n1 in
+    for j = 2 to k - 1 do
+      let aj = Array.unsafe_get a j and nj = Array.unsafe_get nn j in
+      let u =
+        Array.unsafe_get w j
+        + (aj * bi) + (!aprev * bi1)
+        + (m0 * nj) + (m1 * !nprev)
+        + !carry
+      in
+      Array.unsafe_set w (j - 2) (u land emask);
+      carry := u lsr elb;
+      aprev := aj;
+      nprev := nj
+    done;
+    let u = Array.unsafe_get w k + (!aprev * bi1) + (m1 * !nprev) + !carry in
+    Array.unsafe_set w (k - 2) (u land emask);
+    Array.unsafe_set w (k - 1) ((u lsr elb) land emask);
+    Array.unsafe_set w k (u lsr (2 * elb));
+    i := !i + 2
+  done;
+  reduce_out t dst w 0
+
+(* dst[0..ke-1] <- a^2 * Re^{-1} mod n: the dedicated squaring sweep.
+   Pass pair (i, i+1) adds  a_i^2*B^i + 2*a_i*sum_{j>i} a_j*B^j  (and
+   the same one digit up), so each symmetric cross product is computed
+   once and doubled: 1.5k^2 limb products against the multiply's 2k^2.
+   Column layout per pass: columns below i carry only quotient terms
+   (loop A, two products); columns i, i+1, i+2 pick up the diagonal
+   a_i^2, the doubled neighbour and a_{i+1}^2 (peeled); columns above
+   run the full four-product form (loop B).  The last pass (i = k-2)
+   has no loop B and its diagonal tail lands in column k, so it is
+   peeled out of the while loop entirely.  [dst] may alias [a]. *)
+let sqr2_into t (dst : int array) (a : int array) =
+  let k = t.ke and nn = t.ne and n' = t.n'e in
+  let w = Scratch.get ~slot:Scratch.mont_acc (k + 2) in
+  Array.fill w 0 (k + 1) 0;
+  let n0 = Array.unsafe_get nn 0 and n1 = Array.unsafe_get nn 1 in
+  let i = ref 0 in
+  while !i < k - 2 do
+    let i0 = !i in
+    let ai = Array.unsafe_get a i0 and ai1 = Array.unsafe_get a (i0 + 1) in
+    let ai2 = ai * 2 and ai12 = ai1 * 2 in
+    let m0, m1, c0 =
+      if i0 = 0 then begin
+        (* first pass: w = 0 and the diagonal terms sit in columns 0, 1 *)
+        let t0 = ai * ai in
+        let m0 = ((t0 land emask) * n') land emask in
+        let c = (t0 + (m0 * n0)) lsr elb in
+        let t1 = (ai2 * ai1) + (m0 * n1) + c in
+        let m1 = ((t1 land emask) * n') land emask in
+        (m0, m1, (t1 + (m1 * n0)) lsr elb)
+      end
+      else begin
+        let t0 = Array.unsafe_get w 0 in
+        let m0 = ((t0 land emask) * n') land emask in
+        let c = (t0 + (m0 * n0)) lsr elb in
+        let t1 = Array.unsafe_get w 1 + (m0 * n1) + c in
+        let m1 = ((t1 land emask) * n') land emask in
+        (m0, m1, (t1 + (m1 * n0)) lsr elb)
+      end
+    in
+    let carry = ref c0 in
+    let nprev = ref n1 in
+    (* loop A: quotient-only columns below the diagonal *)
+    for c = 2 to i0 - 1 do
+      let nc = Array.unsafe_get nn c in
+      let u = Array.unsafe_get w c + (m0 * nc) + (m1 * !nprev) + !carry in
+      Array.unsafe_set w (c - 2) (u land emask);
+      carry := u lsr elb;
+      nprev := nc
+    done;
+    (* peel the diagonal columns *)
+    if i0 = 0 then begin
+      let n2 = Array.unsafe_get nn 2 in
+      let u =
+        (ai1 * ai1) + (ai2 * Array.unsafe_get a 2) + (m0 * n2) + (m1 * n1)
+        + !carry
+      in
+      Array.unsafe_set w 0 (u land emask);
+      carry := u lsr elb;
+      nprev := n2
+    end
+    else begin
+      let nc = Array.unsafe_get nn i0 in
+      let u =
+        Array.unsafe_get w i0 + (ai * ai) + (m0 * nc) + (m1 * !nprev) + !carry
+      in
+      Array.unsafe_set w (i0 - 2) (u land emask);
+      carry := u lsr elb;
+      nprev := nc;
+      let nc = Array.unsafe_get nn (i0 + 1) in
+      let u =
+        Array.unsafe_get w (i0 + 1) + (ai2 * ai1) + (m0 * nc) + (m1 * !nprev)
+        + !carry
+      in
+      Array.unsafe_set w (i0 - 1) (u land emask);
+      carry := u lsr elb;
+      nprev := nc;
+      let nc = Array.unsafe_get nn (i0 + 2) in
+      let u =
+        Array.unsafe_get w (i0 + 2) + (ai1 * ai1)
+        + (ai2 * Array.unsafe_get a (i0 + 2))
+        + (m0 * nc) + (m1 * !nprev) + !carry
+      in
+      Array.unsafe_set w i0 (u land emask);
+      carry := u lsr elb;
+      nprev := nc
+    end;
+    (* loop B: doubled cross products above the diagonal *)
+    let aprev = ref (Array.unsafe_get a (i0 + 2)) in
+    for c = i0 + 3 to k - 1 do
+      let ac = Array.unsafe_get a c and nc = Array.unsafe_get nn c in
+      let u =
+        Array.unsafe_get w c + (ai2 * ac) + (ai12 * !aprev)
+        + (m0 * nc) + (m1 * !nprev) + !carry
+      in
+      Array.unsafe_set w (c - 2) (u land emask);
+      carry := u lsr elb;
+      aprev := ac;
+      nprev := nc
+    done;
+    let u = Array.unsafe_get w k + (ai12 * !aprev) + (m1 * !nprev) + !carry in
+    Array.unsafe_set w (k - 2) (u land emask);
+    Array.unsafe_set w (k - 1) ((u lsr elb) land emask);
+    Array.unsafe_set w k (u lsr (2 * elb));
+    i := i0 + 2
+  done;
+  (* last pass, i0 = k-2: diagonal in columns k-2, k-1 and tail in k *)
+  let i0 = k - 2 in
+  let ai = Array.unsafe_get a i0 and ai1 = Array.unsafe_get a (i0 + 1) in
+  let ai2 = ai * 2 in
+  let t0 = Array.unsafe_get w 0 in
+  let m0 = ((t0 land emask) * n') land emask in
+  let c = (t0 + (m0 * n0)) lsr elb in
+  let t1 = Array.unsafe_get w 1 + (m0 * n1) + c in
+  let m1 = ((t1 land emask) * n') land emask in
+  let carry = ref ((t1 + (m1 * n0)) lsr elb) in
+  let nprev = ref n1 in
+  for c = 2 to i0 - 1 do
+    let nc = Array.unsafe_get nn c in
+    let u = Array.unsafe_get w c + (m0 * nc) + (m1 * !nprev) + !carry in
+    Array.unsafe_set w (c - 2) (u land emask);
+    carry := u lsr elb;
+    nprev := nc
+  done;
+  let nc = Array.unsafe_get nn (k - 2) in
+  let u =
+    Array.unsafe_get w (k - 2) + (ai * ai) + (m0 * nc) + (m1 * !nprev) + !carry
+  in
+  Array.unsafe_set w (k - 4) (u land emask);
+  carry := u lsr elb;
+  nprev := nc;
+  let nc = Array.unsafe_get nn (k - 1) in
+  let u =
+    Array.unsafe_get w (k - 1) + (ai2 * ai1) + (m0 * nc) + (m1 * !nprev)
+    + !carry
+  in
+  Array.unsafe_set w (k - 3) (u land emask);
+  carry := u lsr elb;
+  nprev := nc;
+  let u = Array.unsafe_get w k + (ai1 * ai1) + (m1 * !nprev) + !carry in
+  Array.unsafe_set w (k - 2) (u land emask);
+  Array.unsafe_set w (k - 1) ((u lsr elb) land emask);
+  Array.unsafe_set w k (u lsr (2 * elb));
+  reduce_out t dst w 0
+
+let mont_mul_into t (dst : int array) (a : int array) (b : int array) =
+  cios2_into t dst a b
+
+let mont_sqr_into t (dst : int array) (a : int array) =
+  sqr2_into t dst a
+
+(* Engine REDC of a ke-digit window: w * Re^{-1} mod n as a canonical
+   Nat — the single exit conversion of an exponentiation. *)
+let redc_e t (w : int array) : Nat.t =
+  let k = t.ke and nn = t.ne and n' = t.n'e in
+  let p = Scratch.get ~slot:Scratch.mont_prod ((2 * k) + 1) in
+  Array.blit w 0 p 0 k;
+  Array.fill p k (k + 1) 0;
+  for i = 0 to k - 1 do
+    let m = (Array.unsafe_get p i * n') land emask in
+    let carry =
+      ref ((Array.unsafe_get p i + (m * Array.unsafe_get nn 0)) lsr elb)
+    in
+    for j = 1 to k - 1 do
+      let u = Array.unsafe_get p (i + j) + (m * Array.unsafe_get nn j) + !carry in
+      Array.unsafe_set p (i + j) (u land emask);
+      carry := u lsr elb
+    done;
+    let idx = ref (i + k) in
+    while !carry <> 0 do
+      let u = Array.unsafe_get p !idx + !carry in
+      Array.unsafe_set p !idx (u land emask);
+      carry := u lsr elb;
+      incr idx
+    done
+  done;
+  reduce_out t p p k;
+  narrow t (Array.sub p k k)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical-residue API (ticks once per modular multiplication)       *)
+(* ------------------------------------------------------------------ *)
+
 (* Product of two Montgomery-form residues, in Montgomery form. *)
 let mont_mul t a b =
-  (match t.tick with Some r -> incr r | None -> ());
+  tick t;
+  let aw = Scratch.get ~slot:Scratch.mont_op_a t.ke in
+  widen_into t aw a;
+  let bw = Scratch.get ~slot:Scratch.mont_op_b t.ke in
+  widen_into t bw b;
+  cios2_into t aw aw bw;
+  narrow t aw
+
+(* Squaring through the dedicated symmetric path. *)
+let mont_sqr t a =
+  tick t;
+  let aw = Scratch.get ~slot:Scratch.mont_op_a t.ke in
+  widen_into t aw a;
+  sqr2_into t aw aw;
+  narrow t aw
+
+(* Pre-rewrite multiply-then-REDC engine in 26-bit radix; the old-vs-new
+   axis of [bench powm].  Its Montgomery form uses R = B^k, not the
+   fused engine's Re, so the two engines compare equal at the Z level
+   ([powm_sched], [mulmod]) rather than residue-for-residue. *)
+let mont_mul_reference t a b =
+  tick t;
   redc t (Nat.mul a b)
 
-(* Squaring through the dedicated {!Nat.sqr}. *)
-let mont_sqr t a =
-  (match t.tick with Some r -> incr r | None -> ());
+let mont_sqr_reference t a =
+  tick t;
   redc t (Nat.sqr a)
 
 let to_mont t (z : Z.t) : Nat.t =
+  tick t;
   let reduced = Z.to_nat (Z.erem z t.modulus) in
-  mont_mul t reduced t.r2
+  let aw = Scratch.get ~slot:Scratch.mont_op_a t.ke in
+  widen_into t aw reduced;
+  cios2_into t aw aw t.r2e;
+  narrow t aw
 
-let of_mont t (m : Nat.t) : Z.t = Z.of_nat (redc t m)
+let of_mont t (m : Nat.t) : Z.t =
+  let w = Scratch.get ~slot:Scratch.mont_op_a t.ke in
+  widen_into t w m;
+  Z.of_nat (redc_e t w)
 
 (* Execute a precomputed sliding-window schedule (see {!Wexp}),
-   mirroring {!Barrett.powm_sched}. *)
+   mirroring {!Barrett.powm_sched}.  Everything between the one [erem]
+   on entry and the one [redc_e] on exit runs on fixed ke-digit engine
+   windows: the odd-powers table is window-width, the accumulator is
+   updated in place (the sweeps consume their inputs before writing),
+   and each of the {!Wexp.cost}+1 ticked operations allocates nothing. *)
 let powm_sched t (base_ : Z.t) (s : Wexp.t) : Z.t =
-  if s.Wexp.first = 0 then of_mont t t.one_m  (* 1 mod n *)
+  if s.Wexp.first = 0 then
+    (if Z.equal t.modulus Z.one then Z.zero else Z.one)
   else begin
-    let bm = to_mont t base_ in
+    let reduced = Z.to_nat (Z.erem base_ t.modulus) in
+    let bm = widen t reduced in
+    tick t;
+    cios2_into t bm bm t.r2e;
     let tbl = Array.make (((s.Wexp.max_odd - 1) / 2) + 1) bm in
     if s.Wexp.max_odd >= 3 then begin
-      let b2 = mont_sqr t bm in
+      let b2 = Array.make t.ke 0 in
+      tick t;
+      sqr2_into t b2 bm;
       for j = 1 to (s.Wexp.max_odd - 1) / 2 do
-        tbl.(j) <- mont_mul t tbl.(j - 1) b2
+        let e = Array.make t.ke 0 in
+        tick t;
+        cios2_into t e tbl.(j - 1) b2;
+        tbl.(j) <- e
+      done
+    end;
+    let acc = Array.copy tbl.(s.Wexp.first lsr 1) in
+    Array.iter
+      (fun op ->
+        tick t;
+        if op < 0 then sqr2_into t acc acc
+        else cios2_into t acc acc tbl.(op lsr 1))
+      s.Wexp.ops;
+    Z.of_nat (redc_e t acc)
+  end
+
+(* The pre-rewrite ladder over [mont_mul_reference]/[mont_sqr_reference]:
+   same schedule, same tick count, allocating per operation.  Kept as
+   the measured baseline of [bench powm]. *)
+let powm_sched_reference t (base_ : Z.t) (s : Wexp.t) : Z.t =
+  if s.Wexp.first = 0 then Z.of_nat (redc t t.one_m)
+  else begin
+    let reduced = Z.to_nat (Z.erem base_ t.modulus) in
+    let bm = mont_mul_reference t reduced t.r2 in
+    let tbl = Array.make (((s.Wexp.max_odd - 1) / 2) + 1) bm in
+    if s.Wexp.max_odd >= 3 then begin
+      let b2 = mont_sqr_reference t bm in
+      for j = 1 to (s.Wexp.max_odd - 1) / 2 do
+        tbl.(j) <- mont_mul_reference t tbl.(j - 1) b2
       done
     end;
     let r = ref tbl.(s.Wexp.first lsr 1) in
     Array.iter
       (fun op ->
-        if op < 0 then r := mont_sqr t !r
-        else r := mont_mul t !r tbl.(op lsr 1))
+        if op < 0 then r := mont_sqr_reference t !r
+        else r := mont_mul_reference t !r tbl.(op lsr 1))
       s.Wexp.ops;
-    of_mont t !r
+    Z.of_nat (redc t !r)
   end
 
 (* Sliding-window modular exponentiation: recode once, then replay. *)

@@ -1,7 +1,13 @@
 (** Montgomery modular arithmetic (REDC) for odd moduli — the alternative
     reduction engine to {!Barrett}, compared by
     [bench/main.exe ablate-mulengine] and used by default for the
-    stage-2 server exponentiation (honest moduli N = Q0·Q1 are odd). *)
+    stage-2 server exponentiation (honest moduli N = Q0·Q1 are odd).
+
+    The hot core is a fused word-level CIOS sweep at an internal radix
+    of 2{^29} (multiply and REDC reduction in one pass, two operand
+    digits at a time), with a dedicated symmetric squaring path used by
+    the {!Wexp} window ladders and preallocated {!Scratch} buffers so
+    steady-state exponentiation allocates nothing per operation. *)
 
 type t
 
@@ -39,3 +45,43 @@ val to_mont : t -> Z.t -> Nat.t
 val of_mont : t -> Nat.t -> Z.t
 val mont_mul : t -> Nat.t -> Nat.t -> Nat.t
 val mont_sqr : t -> Nat.t -> Nat.t
+
+(** {1 Pre-rewrite reference engine}
+
+    The multiply-then-REDC paths the CIOS core replaced, kept verbatim
+    in 26-bit {!Nat} arithmetic: crosscheck property tests assert the
+    two engines agree on every Z-level result, and [bench powm]
+    measures old vs new on the same schedules.  Tick semantics match
+    the fused paths exactly.  Note the reference engine's Montgomery
+    form uses R = B{^k} of the 26-bit radix while the fused engine uses
+    its own R of the 29-bit window, so Montgomery-form residues of the
+    two engines differ even though every [powm]/[mulmod] result is
+    byte-identical. *)
+
+val mont_mul_reference : t -> Nat.t -> Nat.t -> Nat.t
+val mont_sqr_reference : t -> Nat.t -> Nat.t
+val powm_sched_reference : t -> Z.t -> Wexp.t -> Z.t
+
+(** {1 Fixed-width internals} (exposed for tests and the kernel bench)
+
+    The fused core trades in fixed-width windows of 29-bit digits (the
+    engine's internal radix — wider than {!Nat}'s 26 so a column can
+    take four limb products per 63-bit int; see montgomery.ml).  These
+    do NOT tick the counter — they are the raw kernels under
+    {!mont_mul}/{!mont_sqr}. *)
+
+(** Engine window width: the number of 29-bit digits per residue
+    (always even and at least 4; the top digits may be zero padding). *)
+val k_limbs : t -> int
+
+(** Repack a canonical residue (< n) into a fresh engine window. *)
+val widen : t -> Nat.t -> int array
+
+(** [mont_mul_into t dst a b]: dst <- a*b*R{^-1} mod n by one fused
+    2-way CIOS sweep.  [dst] may alias [a] or [b]. *)
+val mont_mul_into : t -> int array -> int array -> int array -> unit
+
+(** [mont_sqr_into t dst a]: the dedicated symmetric squaring sweep
+    (each cross product computed once and doubled, ~25% fewer limb
+    products than a multiply).  [dst] may alias [a]. *)
+val mont_sqr_into : t -> int array -> int array -> unit

@@ -170,6 +170,118 @@ let addmul_1_trunc (r : int array) (off : int) (a : t) (m : int) ~(cut : int) =
     done
   end
 
+(* Offset variant of [addmul_1]: r.(roff ..) += a[aoff .. aoff+alen-1] * m.
+   Lets the engines multiply a *window* of a larger buffer (Barrett's q1
+   and q3 are limb-aligned views of intermediate products) without
+   slicing it into a fresh array first. *)
+let addmul_off (r : int array) (roff : int) (a : int array) (aoff : int)
+    (alen : int) (m : int) =
+  if m <> 0 then begin
+    let carry = ref 0 in
+    for i = 0 to alen - 1 do
+      let t =
+        Array.unsafe_get r (roff + i)
+        + (Array.unsafe_get a (aoff + i) * m)
+        + !carry
+      in
+      Array.unsafe_set r (roff + i) (t land mask);
+      carry := t lsr limb_bits
+    done;
+    let i = ref (roff + alen) in
+    while !carry <> 0 do
+      let t = r.(!i) + !carry in
+      r.(!i) <- t land mask;
+      carry := t lsr limb_bits;
+      incr i
+    done
+  end
+
+(* Offset + truncated: never writes at or beyond limb [cut] of [r]. *)
+let addmul_off_trunc (r : int array) (roff : int) (a : int array) (aoff : int)
+    (alen : int) (m : int) ~(cut : int) =
+  if m <> 0 && roff < cut then begin
+    let carry = ref 0 in
+    let alen = min alen (cut - roff) in
+    for i = 0 to alen - 1 do
+      let t =
+        Array.unsafe_get r (roff + i)
+        + (Array.unsafe_get a (aoff + i) * m)
+        + !carry
+      in
+      Array.unsafe_set r (roff + i) (t land mask);
+      carry := t lsr limb_bits
+    done;
+    let i = ref (roff + alen) in
+    while !carry <> 0 && !i < cut do
+      let t = r.(!i) + !carry in
+      r.(!i) <- t land mask;
+      carry := t lsr limb_bits;
+      incr i
+    done
+  end
+
+(* [mul_into dst a la b lb] overwrites dst[0 .. la+lb-1] with the
+   product a[0..la-1] * b[0..lb-1].  Inputs are fixed-width windows —
+   trailing zero limbs are fine, canonical form is NOT required — which
+   is what the scratch-buffer engines trade in.  [dst] must not alias
+   [a] or [b] and needs length >= la + lb. *)
+let mul_into (dst : int array) (a : int array) (la : int) (b : int array)
+    (lb : int) =
+  Array.fill dst 0 (la + lb) 0;
+  for j = 0 to lb - 1 do
+    addmul_off dst j a 0 la (Array.unsafe_get b j)
+  done
+
+(* [sqr_into dst a n] overwrites dst[0 .. 2n-1] with the square of
+   a[0..n-1]: the same half-product scheme as [sqr_schoolbook] (each
+   symmetric cross product once, doubled in place, diagonal folded in
+   last), but into a caller-owned buffer.  Same contract as
+   [mul_into]. *)
+let sqr_into (dst : int array) (a : int array) (n : int) =
+  Array.fill dst 0 (2 * n) 0;
+  for i = 0 to n - 2 do
+    let m = Array.unsafe_get a i in
+    if m <> 0 then begin
+      let carry = ref 0 in
+      for j = i + 1 to n - 1 do
+        let t =
+          Array.unsafe_get dst (i + j)
+          + (Array.unsafe_get a j * m)
+          + !carry
+        in
+        Array.unsafe_set dst (i + j) (t land mask);
+        carry := t lsr limb_bits
+      done;
+      let k = ref (i + n) in
+      while !carry <> 0 do
+        let t = dst.(!k) + !carry in
+        dst.(!k) <- t land mask;
+        carry := t lsr limb_bits;
+        incr k
+      done
+    end
+  done;
+  let carry = ref 0 in
+  for i = 0 to (2 * n) - 1 do
+    let t = (Array.unsafe_get dst i lsl 1) lor !carry in
+    Array.unsafe_set dst i (t land mask);
+    carry := t lsr limb_bits
+  done;
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let ai = Array.unsafe_get a i in
+    let sq = ai * ai in
+    let t0 = Array.unsafe_get dst (2 * i) + (sq land mask) + !carry in
+    Array.unsafe_set dst (2 * i) (t0 land mask);
+    let t1 =
+      Array.unsafe_get dst ((2 * i) + 1)
+      + (sq lsr limb_bits)
+      + (t0 lsr limb_bits)
+    in
+    Array.unsafe_set dst ((2 * i) + 1) (t1 land mask);
+    carry := t1 lsr limb_bits
+  done
+
 let mul_schoolbook (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
@@ -196,13 +308,75 @@ let mul_low (a : t) (b : t) (limbs : int) : t =
     normalize r
   end
 
+let shift_left (a : t) (bits : int) : t =
+  if bits < 0 then invalid_arg "Nat.shift_left: negative";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let t = a.(i) lsl off in
+      r.(i + limbs) <- r.(i + limbs) lor (t land mask);
+      r.(i + limbs + 1) <- t lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right (a : t) (bits : int) : t =
+  if bits < 0 then invalid_arg "Nat.shift_right: negative";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let lr = la - limbs in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limbs) lsr off in
+        let hi =
+          if off = 0 || i + limbs + 1 >= la then 0
+          else (a.(i + limbs + 1) lsl (limb_bits - off)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Division by a single limb: returns (quotient, remainder). *)
+let divmod_1 (a : t) (d : int) : t * int =
+  if d <= 0 || d >= base then invalid_arg "Nat.divmod_1: divisor out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  normalize q, !r
+
 let karatsuba_threshold = 32
+let toom3_threshold = 128
 
 (* Split [a] at limb [k]: (low, high) with a = low + high * base^k. *)
 let split (a : t) (k : int) : t * t =
   let la = Array.length a in
   if la <= k then a, zero
   else normalize (Array.sub a 0 k), Array.sub a k (la - k)
+
+(* Three-way split: a = a0 + a1 * base^k + a2 * base^2k. *)
+let split3 (a : t) (k : int) : t * t * t =
+  let la = Array.length a in
+  if la <= k then a, zero, zero
+  else if la <= 2 * k then
+    normalize (Array.sub a 0 k), Array.sub a k (la - k), zero
+  else
+    ( normalize (Array.sub a 0 k),
+      normalize (Array.sub a k k),
+      Array.sub a (2 * k) (la - (2 * k)) )
 
 let shift_limbs (a : t) (k : int) : t =
   if is_zero a then zero
@@ -213,16 +387,85 @@ let shift_limbs (a : t) (k : int) : t =
     r
   end
 
+(* Halve an even value (exact). *)
+let half (a : t) : t =
+  let la = Array.length a in
+  if la = 0 then zero
+  else begin
+    let r = Array.make la 0 in
+    for i = 0 to la - 2 do
+      r.(i) <- (a.(i) lsr 1) lor ((a.(i + 1) land 1) lsl (limb_bits - 1))
+    done;
+    r.(la - 1) <- a.(la - 1) lsr 1;
+    normalize r
+  end
+
+(* Toom-Cook 3-way interpolation, shared by [mul] and [sqr].  The point
+   values are P(0), P(1), P(-1), P(2), P(inf) of the degree-4 product
+   polynomial P = c0 + c1 X + .. + c4 X^4 (X = base^k); [vm1] is passed
+   as magnitude + sign since (a0 - a1 + a2) can be negative.  Every
+   coefficient of P is non-negative, so each subtraction below is exact
+   over naturals and the divisions by 2 and 3 are exact:
+
+     t1 = (v1 + vm1)/2 = c0 + c2 + c4        c2 = t1 - c0 - c4
+     t2 = (v1 - vm1)/2 = c1 + c3
+     t3 = (v2 - c0 - 4 c2 - 16 c4)/2 = c1 + 4 c3
+     c3 = (t3 - t2)/3                        c1 = t2 - c3 *)
+let toom3_interp ~(v0 : t) ~(v1 : t) ~(vm1 : t) ~(vm1_neg : bool) ~(v2 : t)
+    ~(vinf : t) ~(k : int) : t =
+  let t1, t2 =
+    if vm1_neg then half (sub v1 vm1), half (add v1 vm1)
+    else half (add v1 vm1), half (sub v1 vm1)
+  in
+  let c2 = sub (sub t1 v0) vinf in
+  let t3 =
+    half (sub v2 (add v0 (add (shift_left c2 2) (shift_left vinf 4))))
+  in
+  let c3, r3 = divmod_1 (sub t3 t2) 3 in
+  assert (r3 = 0);
+  let c1 = sub t2 c3 in
+  add
+    (add v0 (shift_limbs c1 k))
+    (add (shift_limbs c2 (2 * k))
+       (add (shift_limbs c3 (3 * k)) (shift_limbs vinf (4 * k))))
+
+(* Multiplication ladder: schoolbook below [karatsuba_threshold],
+   Karatsuba 2-way up to [toom3_threshold], Toom-Cook 3-way above —
+   5 recursive third-size products instead of Karatsuba's 9 over two
+   levels, which wins on the multi-thousand-bit operands of the CRT
+   product tree and the phi-hiding moduli. *)
 let rec mul (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook a b
-  else begin
+  else if la < toom3_threshold || lb < toom3_threshold then begin
     let k = (max la lb + 1) / 2 in
     let a0, a1 = split a k and b0, b1 = split b k in
     let z0 = mul a0 b0 in
     let z2 = mul a1 b1 in
     let z1 = sub (sub (mul (add a0 a1) (add b0 b1)) z0) z2 in
     add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+  else begin
+    let k = (max la lb + 2) / 3 in
+    let a0, a1, a2 = split3 a k and b0, b1, b2 = split3 b k in
+    let v0 = mul a0 b0 in
+    let vinf = mul a2 b2 in
+    let v1 = mul (add (add a0 a1) a2) (add (add b0 b1) b2) in
+    (* a(-1) = a0 - a1 + a2 as sign + magnitude, likewise b(-1). *)
+    let pa = add a0 a2 and pb = add b0 b2 in
+    let na, ma =
+      if compare pa a1 >= 0 then false, sub pa a1 else true, sub a1 pa
+    in
+    let nb, mb =
+      if compare pb b1 >= 0 then false, sub pb b1 else true, sub b1 pb
+    in
+    let vm1 = mul ma mb in
+    let v2 =
+      mul
+        (add a0 (shift_left (add a1 (shift_left a2 1)) 1))
+        (add b0 (shift_left (add b1 (shift_left b2 1)) 1))
+    in
+    toom3_interp ~v0 ~v1 ~vm1 ~vm1_neg:(na <> nb) ~v2 ~vinf ~k
   end
 
 (* Schoolbook squaring.  The cross products a_i * a_j (i < j) are each
@@ -280,17 +523,33 @@ let sqr_schoolbook (a : t) : t =
     normalize r
   end
 
-(* Karatsuba squaring: (a0 + a1 B^k)^2 needs three half-size squarings,
-   since the middle term (a0 + a1)^2 - a0^2 - a1^2 = 2 a0 a1. *)
+(* Squaring ladder, mirroring [mul]: Karatsuba squaring — (a0 + a1 B^k)^2
+   needs three half-size squarings, since the middle term
+   (a0 + a1)^2 - a0^2 - a1^2 = 2 a0 a1 — and Toom-3 squaring above
+   [toom3_threshold].  In the squaring case a(-1)^2 is non-negative
+   whatever the sign of a0 - a1 + a2, so no signed bookkeeping at all. *)
 let rec sqr (a : t) : t =
-  if Array.length a < karatsuba_threshold then sqr_schoolbook a
-  else begin
-    let k = (Array.length a + 1) / 2 in
+  let la = Array.length a in
+  if la < karatsuba_threshold then sqr_schoolbook a
+  else if la < toom3_threshold then begin
+    let k = (la + 1) / 2 in
     let a0, a1 = split a k in
     let z0 = sqr a0 in
     let z2 = sqr a1 in
     let z1 = sub (sqr (add a0 a1)) (add z0 z2) in
     add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+  else begin
+    let k = (la + 2) / 3 in
+    let a0, a1, a2 = split3 a k in
+    let v0 = sqr a0 in
+    let vinf = sqr a2 in
+    let v1 = sqr (add (add a0 a1) a2) in
+    let pa = add a0 a2 in
+    let ma = if compare pa a1 >= 0 then sub pa a1 else sub a1 pa in
+    let vm1 = sqr ma in
+    let v2 = sqr (add a0 (shift_left (add a1 (shift_left a2 1)) 1)) in
+    toom3_interp ~v0 ~v1 ~vm1 ~vm1_neg:false ~v2 ~vinf ~k
   end
 
 let mul_int (a : t) (m : int) : t =
@@ -302,56 +561,6 @@ let mul_int (a : t) (m : int) : t =
     normalize r
   end
   else mul a (of_int m)
-
-let shift_left (a : t) (bits : int) : t =
-  if bits < 0 then invalid_arg "Nat.shift_left: negative";
-  if is_zero a || bits = 0 then a
-  else begin
-    let limbs = bits / limb_bits and off = bits mod limb_bits in
-    let la = Array.length a in
-    let r = Array.make (la + limbs + 1) 0 in
-    for i = 0 to la - 1 do
-      let t = a.(i) lsl off in
-      r.(i + limbs) <- r.(i + limbs) lor (t land mask);
-      r.(i + limbs + 1) <- t lsr limb_bits
-    done;
-    normalize r
-  end
-
-let shift_right (a : t) (bits : int) : t =
-  if bits < 0 then invalid_arg "Nat.shift_right: negative";
-  if is_zero a || bits = 0 then a
-  else begin
-    let limbs = bits / limb_bits and off = bits mod limb_bits in
-    let la = Array.length a in
-    if limbs >= la then zero
-    else begin
-      let lr = la - limbs in
-      let r = Array.make lr 0 in
-      for i = 0 to lr - 1 do
-        let lo = a.(i + limbs) lsr off in
-        let hi =
-          if off = 0 || i + limbs + 1 >= la then 0
-          else (a.(i + limbs + 1) lsl (limb_bits - off)) land mask
-        in
-        r.(i) <- lo lor hi
-      done;
-      normalize r
-    end
-  end
-
-(* Division by a single limb: returns (quotient, remainder). *)
-let divmod_1 (a : t) (d : int) : t * int =
-  if d <= 0 || d >= base then invalid_arg "Nat.divmod_1: divisor out of range";
-  let la = Array.length a in
-  let q = Array.make la 0 in
-  let r = ref 0 in
-  for i = la - 1 downto 0 do
-    let cur = (!r lsl limb_bits) lor a.(i) in
-    q.(i) <- cur / d;
-    r := cur mod d
-  done;
-  normalize q, !r
 
 (* Knuth Algorithm D (TAOCP 4.3.1) for multi-limb divisors.
    Requires Array.length d >= 2 and a >= d not required (handled by caller). *)

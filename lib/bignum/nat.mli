@@ -46,7 +46,36 @@ val sub_int : t -> int -> t
     building block of multiplication and Montgomery's REDC sweep. *)
 val addmul_1 : int array -> int -> t -> int -> unit
 
-(** Karatsuba above an internal threshold, schoolbook below. *)
+(** [addmul_off r roff a aoff alen m] adds [m * a[aoff..aoff+alen-1]]
+    into [r] at limb [roff]: the window form of {!addmul_1}, letting the
+    engines multiply views of larger scratch buffers in place. *)
+val addmul_off : int array -> int -> int array -> int -> int -> int -> unit
+
+(** Like {!addmul_off} but never writes at or beyond limb [cut] of [r]
+    (absolute index): the low-product building block of Barrett's
+    windowed reduction. *)
+val addmul_off_trunc :
+  int array -> int -> int array -> int -> int -> int -> cut:int -> unit
+
+(** [mul_into dst a la b lb] overwrites [dst[0..la+lb-1]] with
+    [a[0..la-1] * b[0..lb-1]].  Fixed-width windows: trailing zero limbs
+    are accepted (no canonical-form requirement), which is the currency
+    of the scratch-buffer engines.  [dst] must not alias the inputs. *)
+val mul_into : int array -> int array -> int -> int array -> int -> unit
+
+(** [sqr_into dst a n] overwrites [dst[0..2n-1]] with the square of
+    [a[0..n-1]] using the half-product scheme of {!sqr_schoolbook};
+    same contract as {!mul_into}. *)
+val sqr_into : int array -> int array -> int -> unit
+
+(** Size ladder: schoolbook below [karatsuba_threshold] limbs, Karatsuba
+    2-way up to [toom3_threshold], Toom-Cook 3-way above.  Exposed so
+    tests can pin the tuning and exercise the cutoff boundaries. *)
+val karatsuba_threshold : int
+
+val toom3_threshold : int
+
+(** Toom-Cook 3-way / Karatsuba / schoolbook by operand size. *)
 val mul : t -> t -> t
 
 val mul_schoolbook : t -> t -> t

@@ -1,0 +1,32 @@
+(** Per-domain reusable limb workspaces for the bignum engines.
+
+    One global [Domain.DLS] key holds a small pool of growable
+    [int array] slots per domain, so the steady-state hot paths
+    (CIOS Montgomery, Barrett reduction, Wexp recoding) run without
+    per-operation allocation while staying safe under the Domains
+    worker pool.
+
+    Discipline: a borrow is valid until the next {!get} of the same
+    slot on the same domain; distinct simultaneously-live buffers use
+    distinct slot ids (registered in the implementation); contents are
+    stale on borrow and must be overwritten by the caller. *)
+
+val slot_count : int
+
+(** Slot ids.  Assigned centrally so overlap is impossible by
+    construction; see the implementation for the coexistence notes. *)
+
+val mont_acc : int
+val mont_prod : int
+val mont_op_a : int
+val mont_op_b : int
+val barrett_prod : int
+val barrett_qmu : int
+val barrett_r : int
+val wexp_bits : int
+val wexp_ops : int
+
+(** [get ~slot len] borrows this domain's buffer for [slot], grown to at
+    least [len] limbs.  Stale contents; valid until the next [get] of
+    the same slot on this domain. *)
+val get : slot:int -> int -> int array

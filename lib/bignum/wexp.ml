@@ -39,18 +39,21 @@ let recode ?width (e : Nat.t) : t =
       | Some w when 1 <= w && w <= 7 -> w
       | Some _ -> invalid_arg "Wexp.recode: width out of [1, 7]"
     in
-    (* Explicit bit table, filled limb by limb. *)
-    let bits = Bytes.make nb '\000' in
+    (* Explicit bit table, filled limb by limb, in a Scratch slot: the
+       table only lives for this scan, so recoding allocates nothing
+       beyond the returned schedule. *)
+    let bits = Scratch.get ~slot:Scratch.wexp_bits nb in
+    Array.fill bits 0 nb 0;
     Array.iteri
       (fun li limb ->
         let base_idx = li * Nat.limb_bits in
         let top = min Nat.limb_bits (nb - base_idx) in
         for b = 0 to top - 1 do
           if (limb lsr b) land 1 = 1 then
-            Bytes.unsafe_set bits (base_idx + b) '\001'
+            Array.unsafe_set bits (base_idx + b) 1
         done)
       e;
-    let bit i = Bytes.unsafe_get bits i = '\001' in
+    let bit i = Array.unsafe_get bits i = 1 in
     (* Window topped at set bit [i]: up to [w] bits scanning down, with
        trailing zeros stripped so every multiplier stays odd. *)
     let max_odd = ref 1 in
@@ -68,8 +71,9 @@ let recode ?width (e : Nat.t) : t =
       (!v, !l)
     in
     (* Worst case (w = 1, all bits set): every remaining bit emits one
-       squaring and one multiplication. *)
-    let ops = Array.make (2 * nb) 0 in
+       squaring and one multiplication.  Staged in a Scratch slot; only
+       the trimmed copy below escapes. *)
+    let ops = Scratch.get ~slot:Scratch.wexp_ops (2 * nb) in
     let nops = ref 0 in
     let emit v =
       ops.(!nops) <- v;

@@ -16,19 +16,23 @@ let deterministic_limit = Z.of_string "3317044064679887385961981"
 type result = Prime | Composite | Probably_prime
 
 (* One Miller–Rabin round with base [a] (1 < a < n - 1), n odd > 3.
-   [d], [s] satisfy n - 1 = d * 2^s with d odd; [ctx] is a Montgomery
-   context for n (n is odd here; Montgomery exponentiation is ~1.5x
-   faster than Barrett, and this loop dominates the PIR query time). *)
-let mr_round ctx n ~d ~s a =
-  let n1 = Z.pred n in
-  let x = ref (Montgomery.powm ctx a d) in
-  if Z.equal !x Z.one || Z.equal !x n1 then true
+   [sched] is the window schedule of the odd part d of n - 1, recoded
+   ONCE per candidate and replayed for every base; [ctx] is a Montgomery
+   context for n (n is odd here; Montgomery exponentiation is faster
+   than Barrett, and this loop dominates the PIR query time).  The
+   squaring chain x <- x^2 runs in Montgomery form — one [to_mont]
+   instead of a form round-trip per squaring — comparing against
+   [n1_m], the Montgomery form of n - 1. *)
+let mr_round ctx ~sched ~n1 ~n1_m ~s a =
+  let x0 = Montgomery.powm_sched ctx a sched in
+  if Z.equal x0 Z.one || Z.equal x0 n1 then true
   else begin
+    let xm = ref (Montgomery.to_mont ctx x0) in
     let ok = ref false in
     let r = ref 1 in
     while (not !ok) && !r < s do
-      x := Montgomery.mulmod ctx !x !x;
-      if Z.equal !x n1 then ok := true;
+      xm := Montgomery.mont_sqr ctx !xm;
+      if Nat.equal !xm n1_m then ok := true;
       incr r
     done;
     !ok
@@ -73,11 +77,19 @@ let test ?(rounds = 24) ?(trial = true) ?(metrics = Lbq_metrics.Counters.null)
       (* n has survived trial division by 2, so it is odd. *)
       let ctx = Montgomery.create n in
       let d, s = decompose n in
+      (* Per-candidate precomputation shared by every round: d's window
+         schedule and the Montgomery form of n - 1. *)
+      let sched = Wexp.recode (Z.to_nat d) in
+      let n1 = Z.pred n in
+      let n1_m = Montgomery.to_mont ctx n1 in
       if Z.lt n deterministic_limit then begin
         let witnesses =
-          List.filter (fun a -> Z.lt (Z.of_int a) (Z.pred n)) deterministic_bases
+          List.filter (fun a -> Z.lt (Z.of_int a) n1) deterministic_bases
         in
-        if List.for_all (fun a -> mr_round ctx n ~d ~s (Z.of_int a)) witnesses
+        if
+          List.for_all
+            (fun a -> mr_round ctx ~sched ~n1 ~n1_m ~s (Z.of_int a))
+            witnesses
         then Prime
         else Composite
       end
@@ -92,7 +104,7 @@ let test ?(rounds = 24) ?(trial = true) ?(metrics = Lbq_metrics.Counters.null)
           if i = 0 then Probably_prime
           else begin
             let a = Z.add Z.two (Z.random_below ~bound:n3 rand) in
-            if mr_round ctx n ~d ~s a then go (i - 1) else Composite
+            if mr_round ctx ~sched ~n1 ~n1_m ~s a then go (i - 1) else Composite
           end
         in
         go rounds

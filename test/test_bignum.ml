@@ -23,6 +23,10 @@ let gen_z_of_size size_gen =
       (list_size (return n) biased_byte))
 
 let gen_big = gen_z_of_size QCheck.Gen.(int_range 0 96)
+
+(* Operands spanning the deployment range (40..52 limbs) and beyond the
+   CIOS cutoff, for the fused-engine crosschecks. *)
+let gen_huge = gen_z_of_size QCheck.Gen.(int_range 0 400)
 let gen_signed =
   QCheck.Gen.(map2 (fun z neg -> if neg then Z.neg z else z) gen_big bool)
 
@@ -176,6 +180,158 @@ let test_sqr_shapes () =
         (Printf.sprintf "patterned %d limbs" limbs)
         (Nat.normalize seeded))
     [ 2; 31; 32; 33; 64; 65 ]
+
+(* The size ladder itself: thresholds stay ordered as tuned, and the
+   Karatsuba -> Toom-3 handoff is byte-identical to schoolbook across the
+   cutoff boundaries (the carry-heaviest all-ones patterns included). *)
+let test_mul_ladder () =
+  let nat = Alcotest.testable
+      (fun fmt a -> Format.pp_print_string fmt (Nat.to_string a))
+      Nat.equal
+  in
+  Alcotest.(check bool) "karatsuba threshold sane" true
+    (Nat.karatsuba_threshold >= 8);
+  Alcotest.(check bool) "toom3 above karatsuba" true
+    (Nat.toom3_threshold >= 2 * Nat.karatsuba_threshold);
+  let patterned limbs salt =
+    Nat.normalize
+      (Array.init limbs (fun i -> (((i + salt) * 7919) + salt) land Nat.mask))
+  in
+  let boundary =
+    [ Nat.toom3_threshold - 2; Nat.toom3_threshold - 1; Nat.toom3_threshold;
+      Nat.toom3_threshold + 1; Nat.toom3_threshold + 5;
+      2 * Nat.toom3_threshold; (3 * Nat.toom3_threshold) + 7 ]
+  in
+  List.iter
+    (fun la ->
+      List.iter
+        (fun lb ->
+          let a = patterned la 3 and b = patterned lb 11 in
+          Alcotest.check nat
+            (Printf.sprintf "mul %dx%d = schoolbook" la lb)
+            (Nat.mul_schoolbook a b) (Nat.mul a b);
+          let ones_a = Array.make la Nat.mask and ones_b = Array.make lb Nat.mask in
+          Alcotest.check nat
+            (Printf.sprintf "mul %dx%d all-ones" la lb)
+            (Nat.mul_schoolbook ones_a ones_b) (Nat.mul ones_a ones_b))
+        [ Nat.karatsuba_threshold + 1; Nat.toom3_threshold;
+          Nat.toom3_threshold + 3 ];
+      let a = patterned la 5 in
+      Alcotest.check nat
+        (Printf.sprintf "sqr %d = schoolbook mul" la)
+        (Nat.mul_schoolbook a a) (Nat.sqr a))
+    boundary
+
+(* Into-buffer primitives: fixed-width windows with non-canonical
+   (zero-padded) inputs match the canonical product. *)
+let test_into_buffer () =
+  let nat = Alcotest.testable
+      (fun fmt a -> Format.pp_print_string fmt (Nat.to_string a))
+      Nat.equal
+  in
+  List.iter
+    (fun (la, lb) ->
+      let a = Array.init la (fun i -> ((i * 131) + 7) land Nat.mask) in
+      let b = Array.init lb (fun i -> ((i * 257) + 3) land Nat.mask) in
+      (* zero-pad to model fixed-width residues *)
+      let aw = Array.append a (Array.make 4 0) in
+      let bw = Array.append b (Array.make 2 0) in
+      let dst = Array.make (la + lb + 16) (-1) in
+      Nat.mul_into dst aw la bw lb;
+      Alcotest.check nat
+        (Printf.sprintf "mul_into %dx%d" la lb)
+        (Nat.mul_schoolbook (Nat.normalize a) (Nat.normalize b))
+        (Nat.normalize (Array.sub dst 0 (la + lb)));
+      let dst2 = Array.make (2 * la) (-1) in
+      Nat.sqr_into dst2 aw la;
+      Alcotest.check nat
+        (Printf.sprintf "sqr_into %d" la)
+        (Nat.mul_schoolbook (Nat.normalize a) (Nat.normalize a))
+        (Nat.normalize dst2))
+    [ (1, 1); (1, 5); (5, 1); (2, 2); (13, 7); (40, 40); (52, 52); (64, 33) ];
+  (* zero-width windows *)
+  let dst = Array.make 4 9 in
+  Nat.mul_into dst [| 5 |] 1 [| 0 |] 1;
+  Alcotest.(check int) "mul_into by zero" 0 dst.(0);
+  Nat.sqr_into dst [||] 0;
+  Alcotest.(check bool) "sqr_into zero width ok" true true
+
+(* The fused CIOS engine at its edges: aliased destinations, zero and
+   single-limb residues, and the trivial modulus n = 1.  The engine's
+   Montgomery form uses its own internal radix, so correctness is
+   checked at the Z level (through to_mont/of_mont) and the window
+   kernels are checked byte-identical to the canonical engine ops. *)
+let test_cios_edges () =
+  let nat = Alcotest.testable
+      (fun fmt a -> Format.pp_print_string fmt (Nat.to_string a))
+      Nat.equal
+  in
+  let zt = Alcotest.testable
+      (fun fmt z -> Format.pp_print_string fmt (Z.to_string z))
+      Z.equal
+  in
+  let window = Alcotest.(list int) in
+  let check_ctx name m =
+    let ctx = Montgomery.create m in
+    let residues =
+      List.filter (fun r -> Z.lt r m)
+        [ Z.zero; Z.one; Z.two; Z.pred m; Z.shift_right m 1;
+          Z.erem (Z.of_string "123456789123456789123456789") m ]
+    in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            let am = Montgomery.to_mont ctx a
+            and bm = Montgomery.to_mont ctx b in
+            Alcotest.check zt
+              (Printf.sprintf "%s mul %s*%s" name (Z.to_string a) (Z.to_string b))
+              (Z.erem (Z.mul a b) m)
+              (Montgomery.of_mont ctx (Montgomery.mont_mul ctx am bm));
+            (* aliased destination: dst == a, then dst == b *)
+            let expect =
+              Array.to_list
+                (Montgomery.widen ctx (Montgomery.mont_mul ctx am bm))
+            in
+            let aw = Montgomery.widen ctx am
+            and bw = Montgomery.widen ctx bm in
+            Montgomery.mont_mul_into ctx aw aw bw;
+            Alcotest.check window
+              (Printf.sprintf "%s alias dst=a" name)
+              expect (Array.to_list aw);
+            let aw = Montgomery.widen ctx am in
+            Montgomery.mont_mul_into ctx bw aw bw;
+            Alcotest.check window
+              (Printf.sprintf "%s alias dst=b" name)
+              expect (Array.to_list bw))
+          residues;
+        let am = Montgomery.to_mont ctx a in
+        (* the dedicated squaring path is byte-identical to the fused
+           multiply by itself, and correct at the Z level *)
+        Alcotest.check nat
+          (Printf.sprintf "%s sqr %s" name (Z.to_string a))
+          (Montgomery.mont_mul ctx am am)
+          (Montgomery.mont_sqr ctx am);
+        Alcotest.check zt
+          (Printf.sprintf "%s sqr value %s" name (Z.to_string a))
+          (Z.erem (Z.mul a a) m)
+          (Montgomery.of_mont ctx (Montgomery.mont_sqr ctx am));
+        let aw = Montgomery.widen ctx am in
+        Montgomery.mont_sqr_into ctx aw aw;
+        Alcotest.check window
+          (Printf.sprintf "%s sqr alias" name)
+          (Array.to_list (Montgomery.widen ctx (Montgomery.mont_sqr ctx am)))
+          (Array.to_list aw))
+      residues
+  in
+  check_ctx "n=1" Z.one;
+  check_ctx "n=3" (Z.of_int 3);
+  check_ctx "one-limb" (Z.of_int ((1 lsl 26) - 5));
+  check_ctx "two-limb" (Z.of_string "4611686018427387847");
+  check_ctx "schnorr-like"
+    (Z.pred (Z.shift_left Z.one 1024));  (* odd, 40 limbs *)
+  check_ctx "deployment-N-like"
+    (Z.sub (Z.shift_left Z.one 1330) (Z.of_int 27))  (* odd, 52 limbs *)
 
 let test_wexp_edges () =
   (* Exponent 0: empty schedule, executed as 1 mod m. *)
@@ -352,6 +508,47 @@ let props =
         let m = Z.of_string "170141183460469231731687303715884105727" in
         let ctx = Montgomery.create m in
         Z.equal (Montgomery.mulmod ctx a b) (Z.erem (Z.mul a b) m));
+    prop "cios mont_mul/mont_sqr correct, sqr = mul" 80
+      (QCheck.make QCheck.Gen.(triple gen_huge gen_huge gen_huge))
+      (fun (a, b, m) ->
+        QCheck.assume (Z.gt m Z.one);
+        let m = if Z.is_even m then Z.succ m else m in
+        let ctx = Montgomery.create m in
+        let am = Montgomery.to_mont ctx a and bm = Montgomery.to_mont ctx b in
+        (* fused product correct at the Z level, and the dedicated
+           squaring path byte-identical to the fused multiply *)
+        Z.equal
+          (Montgomery.of_mont ctx (Montgomery.mont_mul ctx am bm))
+          (Z.erem (Z.mul a b) m)
+        && Nat.equal
+             (Montgomery.mont_sqr ctx am)
+             (Montgomery.mont_mul ctx am am)
+        && Z.equal
+             (Montgomery.of_mont ctx (Montgomery.mont_sqr ctx am))
+             (Z.erem (Z.mul a a) m));
+    prop "cios powm_sched = reference ladder" 40
+      (QCheck.make QCheck.Gen.(triple gen_huge gen_big gen_huge))
+      (fun (b_, e, m) ->
+        QCheck.assume (Z.gt m Z.one);
+        let e = Z.abs e in
+        let m = if Z.is_even m then Z.succ m else m in
+        let ctx = Montgomery.create m in
+        let s = Wexp.recode (Z.to_nat e) in
+        let r1 = ref 0 and r2 = ref 0 in
+        let v_new = Montgomery.counting ctx r1 (fun () ->
+            Montgomery.powm_sched ctx b_ s)
+        in
+        let v_old = Montgomery.counting ctx r2 (fun () ->
+            Montgomery.powm_sched_reference ctx b_ s)
+        in
+        Z.equal v_new v_old && !r1 = !r2
+        && (Z.is_zero e || !r1 = Wexp.cost s + 1));
+    prop "toom3 mul = schoolbook (random huge)" 30
+      (QCheck.make QCheck.Gen.(pair gen_huge gen_huge))
+      (fun (a, b) ->
+        let an = Z.to_nat (Z.abs a) and bn = Z.to_nat (Z.abs b) in
+        Nat.equal (Nat.mul an bn) (Nat.mul_schoolbook an bn)
+        && Nat.equal (Nat.sqr an) (Nat.mul_schoolbook an an));
     prop "montgomery roundtrip" 100 arb_big (fun a ->
         let m = Z.of_string "57896044618658097711785492504343953926634992332820282019728792003956564819949" in
         let ctx = Montgomery.create m in
@@ -527,6 +724,9 @@ let () =
          Alcotest.test_case "numbits" `Quick test_numbits;
          Alcotest.test_case "barrett basic" `Quick test_barrett_basic;
          Alcotest.test_case "sqr shapes" `Quick test_sqr_shapes;
+         Alcotest.test_case "mul ladder (toom3 boundaries)" `Quick test_mul_ladder;
+         Alcotest.test_case "into-buffer primitives" `Quick test_into_buffer;
+         Alcotest.test_case "cios edges (alias/zero/n=1)" `Quick test_cios_edges;
          Alcotest.test_case "wexp edges" `Quick test_wexp_edges;
          Alcotest.test_case "comb/straus edges" `Quick test_comb_straus_edges ]);
       ("properties", props) ]
