@@ -16,26 +16,30 @@ test-fast:
 	dune build @backends
 
 # Tiny-parameter smoke of every JSON-emitting bench suite
-# (powm/faults/pir/ot/keypool/backends): same code paths and assertions
-# as the full suites, toy sizes, BENCH_*.quick.json artifacts.
+# (powm/faults/pir/ot/keypool/backends/serve): same code paths and
+# assertions as the full suites, toy sizes, BENCH_*.quick.json artifacts.
 bench-quick:
 	dune exec bench/main.exe -- quick 1
 
 # The tier-1 gate plus the bench smoke: builds everything, runs the full
 # test suite, drives every bench suite once at toy parameters, and
-# gates on the limb-engine summary (powm speedup floor + allocation
-# budget, read back from BENCH_powm.quick.json).
+# gates on the bench summaries — the limb-engine floor (powm speedup +
+# allocation budget, from BENCH_powm.quick.json) and the serving-layer
+# floor (multi-domain q/s >= single-domain q/s, from
+# BENCH_serve.quick.json).
 check:
 	dune build @all
 	dune runtest
 	$(MAKE) bench-quick
 	dune exec bench/main.exe -- powm-guard
+	dune exec bench/main.exe -- serve-guard
 
 # Benchmarks run under the release profile (flambda-style optimisation,
 # no assertions stripped that matter here) so timings reflect deployment:
-# the transport fault sweep plus the stage-1, stage-2, offline/online
-# and backend-arena suites that emit BENCH_ot.json, BENCH_pir.json,
-# BENCH_keypool.json and BENCH_backends.json.
+# the transport fault sweep plus the stage-1, stage-2, offline/online,
+# backend-arena and serving-layer suites that emit BENCH_ot.json,
+# BENCH_pir.json, BENCH_keypool.json, BENCH_backends.json and
+# BENCH_serve.json.
 bench:
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- powm 5
@@ -44,6 +48,7 @@ bench:
 	dune exec --profile release bench/main.exe -- ot 3
 	dune exec --profile release bench/main.exe -- keypool 3
 	dune exec --profile release bench/main.exe -- backends 5
+	dune exec --profile release bench/main.exe -- serve 6
 
 clean:
 	dune clean

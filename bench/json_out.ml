@@ -91,6 +91,17 @@ let write ~path v =
   output_string oc (to_string v);
   close_out oc
 
+(* The standard latency-quantile block: p50/p95/p99 (plus count and
+   max) read from one log-bucketed histogram, so every artifact that
+   reports tail latency spells the fields the same way and the guards
+   can scan them generically. *)
+let quantile_fields (h : Lbq_metrics.Histogram.t) =
+  [ "count", Int (Lbq_metrics.Histogram.count h);
+    "p50_s", Float (Lbq_metrics.Histogram.quantile_s h 0.50);
+    "p95_s", Float (Lbq_metrics.Histogram.quantile_s h 0.95);
+    "p99_s", Float (Lbq_metrics.Histogram.quantile_s h 0.99);
+    "max_s", Float (Lbq_metrics.Histogram.max_s h) ]
+
 (* The allocation-pressure block carried by every BENCH_*.json row:
    words allocated on the minor / major heap (and promoted) while the
    measured section ran, from {!Counters.gc_delta}. *)

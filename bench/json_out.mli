@@ -21,3 +21,7 @@ val write : path:string -> t -> unit
 (** The standard allocation-pressure fields ([gc_minor_words],
     [gc_major_words], [gc_promoted_words]) for one measured section. *)
 val gc_fields : Counters.gc_words -> (string * t) list
+
+(** The standard tail-latency fields ([count], [p50_s], [p95_s],
+    [p99_s], [max_s]) read from one log-bucketed histogram. *)
+val quantile_fields : Lbq_metrics.Histogram.t -> (string * t) list

@@ -41,6 +41,15 @@
                      at matched grid sizes — communication, server
                      mults (cost oracle asserted = measured counter)
                      and per-phase timings; emits BENCH_backends.json
+     serve           Multi-tenant serving layer under sustained load:
+                     a closed-loop tenant fleet on the sharded
+                     worker-domain service — q/s and p50/p95/p99 per
+                     (clients x domains x queue depth), pooled-vs-
+                     sequential byte-identity gate, and a throughput-
+                     under-packet-loss sweep; emits BENCH_serve.json
+     serve-guard     make-check gate: asserts BENCH_serve.quick.json's
+                     best multi-domain q/s >= the best single-domain
+                     q/s (sharding + parallelism must not lose)
      quick           Tiny-parameter smoke of every JSON-emitting suite
                      (faults/pir/ot/keypool/backends); same code paths,
                      toy sizes, BENCH_*.quick.json artifacts (make check)
@@ -1536,6 +1545,270 @@ let powm_guard ?(path = "BENCH_powm.quick.json") () =
   if not (ok_speed && ok_words) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* serve: multi-tenant sustained load on the sharded service            *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR 8 serving layer under sustained closed-loop traffic: a fleet
+   of simulated tenants drives the sharded worker-domain service, and
+   every (clients x domains x queue depth) cell reports completed
+   rounds/sec plus p50/p95/p99 from the round-latency histogram.  A
+   byte-identity gate runs before anything is timed: at the same shard
+   count, the pump-mode single-threaded service and the spawned
+   multi-domain one must produce identical fleet transcripts, so the
+   bench can never publish numbers from a service that diverged from
+   the sequential oracle.  A final sweep re-runs the largest
+   configuration under chaos packet loss and reports how throughput
+   degrades with p.  The summary block — seq_qps (best 1-domain cell),
+   par_qps (best cell at >= 2 domains) — is what [serve_guard]
+   (make check) gates on: striping the grid over S shards cuts each
+   respond's exponent to ~|e|/S bits on top of the S-way parallelism,
+   so the pooled service must not lose to the serial one. *)
+let serve ?(out = "BENCH_serve.json") ?(clients = [ 1; 4; 8 ])
+    ?(domains = [ 1; 2; 4 ]) ?(queue_depths = [ 4; 64 ])
+    ?(loss_ps = [ 0.05; 0.15 ]) trials =
+  let open Lbq_net in
+  let module H = Lbq_metrics.Histogram in
+  let rounds = max 2 trials in
+  Format.printf
+    "=== serve: multi-tenant sustained load (%d rounds/tenant) ===@.@." rounds;
+  let gc_all = Counters.gc_words () in
+  (* A wide, shallow deployment: 36 small private cells rather than
+     Params.test's 9 larger ones.  Striping pays off in proportion to
+     |e| = sum of the per-cell prime-power widths, while the client's
+     fixed per-round decode cost scales only with its one target cell —
+     wide-and-shallow is exactly the shape where a sharded server
+     shines (and the realistic one: city-scale grids are wide). *)
+  let params =
+    Params.make ~q_bits:24 ~seed:"bench-serve"
+      ~group:(Schnorr.test_group ()) ~public_rows:6 ~public_cols:6
+      ~private_rows:6 ~private_cols:6 ~rmax:1 ()
+  in
+  let area =
+    Coord.Rect.make ~min:(Coord.make ~x:0. ~y:0.)
+      ~max:(Coord.make ~x:3000. ~y:3000.)
+  in
+  let pois =
+    List.init 36 (fun idx ->
+        let row = idx / 6 and col = idx mod 6 in
+        Poi.make ~id:idx
+          ~position:(Coord.make
+                       ~x:((float_of_int col *. 500.) +. 250.)
+                       ~y:((float_of_int row *. 500.) +. 250.))
+          ~category:"c" ~name:"n")
+  in
+  let server = Server.create params ~area pois in
+  let info = Server.public_info server in
+  let run ?pool ?(reuse = false) ~tenants ~shards ~queue_depth ~chaos ~record
+      ~spawn ~seed () =
+    Service.with_service ~ot_seed:"bench-serve-svc" ~queue_depth ~spawn ~shards
+      server (fun svc ->
+        Fleet.run ?pool svc
+          { Fleet.default_config with
+            Fleet.tenants; stop = Fleet.Rounds rounds; chaos; seed; record;
+            reuse })
+  in
+  (* --- Gate: pooled serving is byte-identical to the sequential
+     reference — same assertion as the test suite, re-made on the bench
+     deployment before any timing. *)
+  let gate_shards = max 2 (List.fold_left max 1 domains) in
+  let gate ~spawn =
+    run ~tenants:3 ~shards:gate_shards ~queue_depth:64 ~chaos:None
+      ~record:true ~spawn ~seed:"serve-identity" ()
+  in
+  let reference = gate ~spawn:false in
+  let concurrent = gate ~spawn:true in
+  let entries_equal (a : Fleet.entry) (b : Fleet.entry) =
+    a.Fleet.idq = b.Fleet.idq
+    && String.equal a.Fleet.key b.Fleet.key
+    && Z.equal a.Fleet.ge b.Fleet.ge
+    && a.Fleet.pois = b.Fleet.pois
+  in
+  Array.iteri
+    (fun t ref_log ->
+      let con_log = concurrent.Fleet.transcripts.(t) in
+      if
+        List.length ref_log <> List.length con_log
+        || not (List.for_all2 entries_equal ref_log con_log)
+      then
+        failwith
+          (Printf.sprintf
+             "bench serve: tenant %d transcript diverges from the sequential \
+              reference" t))
+    reference.Fleet.transcripts;
+  Format.printf
+    "  identity gate: pump-mode and %d-domain transcripts byte-identical \
+     (%d rounds)@.@."
+    gate_shards (reference.Fleet.rounds + concurrent.Fleet.rounds);
+  (* --- The clients x domains x queue-depth sweep.  The fleet driver
+     is single-threaded, so its per-round stage-2 setup cost (the
+     semi-safe prime search) would mask the server-side scaling under
+     test: timed rows run with §VI per-cell instance reuse plus a
+     shared prewarmed keypool for first visits, pushing the driver's
+     share of a round to microseconds. *)
+  Keypool.with_pool
+    ~config:{ Keypool.capacity = 4; low_watermark = 1 }
+    ~domains:2 ~seed:"bench-serve-pool" ~plan:info.Server.plan
+    ~q_bits:params.Params.q_bits
+  @@ fun pool ->
+  Keypool.prewarm pool;
+  let rows = ref [] in
+  let seq_qps = ref 0. and par_qps = ref 0. in
+  Format.printf "  %-7s | %-7s | %-5s | %8s | %9s | %9s | %9s | %5s@."
+    "clients" "domains" "queue" "q/s" "p50 (ms)" "p95 (ms)" "p99 (ms)" "sheds";
+  Format.printf "  %s@." (String.make 76 '-');
+  List.iter
+    (fun tenants ->
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun queue_depth ->
+              let gc0 = Counters.gc_words () in
+              let o =
+                run ~pool ~reuse:true ~tenants ~shards ~queue_depth
+                  ~chaos:None ~record:false ~spawn:true
+                  ~seed:
+                    (Printf.sprintf "serve-%d-%d-%d" tenants shards queue_depth)
+                  ()
+              in
+              let h = o.Fleet.round_latency in
+              let ms q = H.quantile_s h q *. 1e3 in
+              Format.printf
+                "  %-7d | %-7d | %-5d | %8.1f | %9.2f | %9.2f | %9.2f | %5d@."
+                tenants shards queue_depth o.Fleet.qps (ms 0.50) (ms 0.95)
+                (ms 0.99) o.Fleet.sheds;
+              if shards = 1 then seq_qps := Float.max !seq_qps o.Fleet.qps
+              else par_qps := Float.max !par_qps o.Fleet.qps;
+              rows :=
+                J.Obj
+                  ([ "clients", J.Int tenants; "domains", J.Int shards;
+                     "queue_depth", J.Int queue_depth;
+                     "rounds", J.Int o.Fleet.rounds;
+                     "failed", J.Int o.Fleet.failed;
+                     "sheds", J.Int o.Fleet.sheds;
+                     "retries", J.Int o.Fleet.retries;
+                     "duration_s", J.Float o.Fleet.duration_s;
+                     "qps", J.Float o.Fleet.qps ]
+                   @ J.quantile_fields h
+                   @ J.gc_fields (Counters.gc_delta ~since:gc0))
+                :: !rows)
+            queue_depths)
+        domains)
+    clients;
+  (* --- Throughput under packet loss: the largest configuration,
+     chaos drop/corrupt swept over p.  Request-path losses never reach
+     the server; response-path losses waste a full respond — the
+     asymmetry that makes throughput fall faster than (1 - p). *)
+  let loss_tenants = List.fold_left max 1 clients in
+  let loss_shards = List.fold_left max 1 domains in
+  let loss_rows = ref [] in
+  Format.printf "@.  %-6s | %8s | %8s | %7s | %7s | %7s@." "p" "q/s"
+    "rounds" "failed" "drops" "retries";
+  Format.printf "  %s@." (String.make 58 '-');
+  List.iter
+    (fun p ->
+      let gc0 = Counters.gc_words () in
+      let chaos = if p = 0. then None else Some (Chaos.drop_corrupt ~p) in
+      let o =
+        run ~pool ~reuse:true ~tenants:loss_tenants ~shards:loss_shards
+          ~queue_depth:64 ~chaos ~record:false ~spawn:true
+          ~seed:(Printf.sprintf "serve-loss-%f" p) ()
+      in
+      Format.printf "  %-6.2f | %8.1f | %8d | %7d | %7d | %7d@." p o.Fleet.qps
+        o.Fleet.rounds o.Fleet.failed o.Fleet.drops o.Fleet.retries;
+      loss_rows :=
+        J.Obj
+          ([ "p", J.Float p; "clients", J.Int loss_tenants;
+             "domains", J.Int loss_shards; "rounds", J.Int o.Fleet.rounds;
+             "failed", J.Int o.Fleet.failed; "drops", J.Int o.Fleet.drops;
+             "sheds", J.Int o.Fleet.sheds; "retries", J.Int o.Fleet.retries;
+             "qps", J.Float o.Fleet.qps ]
+           @ J.quantile_fields o.Fleet.round_latency
+           @ J.gc_fields (Counters.gc_delta ~since:gc0))
+        :: !loss_rows)
+    (0. :: loss_ps);
+  let speedup = if !seq_qps > 0. then !par_qps /. !seq_qps else 0. in
+  J.write ~path:out
+    (J.Obj
+       ([ ( "summary",
+            J.Obj
+              [ "seq_qps", J.Float !seq_qps; "par_qps", J.Float !par_qps;
+                "speedup", J.Float speedup;
+                "byte_identical", J.Bool true;
+                "rounds_per_tenant", J.Int rounds;
+                "cores", J.Int (Domain.recommended_domain_count ()) ] );
+          "rows", J.List (List.rev !rows);
+          "loss_rows", J.List (List.rev !loss_rows) ]
+        @ J.gc_fields (Counters.gc_delta ~since:gc_all)));
+  Format.printf
+    "@.  Wrote %s.  Best 1-domain %.1f q/s, best multi-domain %.1f q/s@." out
+    !seq_qps !par_qps;
+  Format.printf
+    "  (%.2fx): striping cuts each respond to ~1/S of the exponent on@."
+    speedup;
+  Format.printf "  top of the S-way domain parallelism.@.@."
+
+(* make-check gate on the serving layer: reads the summary block of the
+   quick artifact and fails if the sharded multi-domain service has
+   stopped beating the single-domain one — the floor is 1.0x because
+   sharding alone (shorter exponents) should dominate any queueing
+   overhead, before parallelism is even counted. *)
+let serve_guard ?(path = "BENCH_serve.quick.json") () =
+  let speedup_floor = 1.0 in
+  let s =
+    match open_in_bin path with
+    | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    | exception Sys_error _ ->
+      Format.eprintf "serve-guard: %s missing (run `make bench-quick`)@." path;
+      exit 2
+  in
+  let float_after key =
+    let key = "\"" ^ key ^ "\"" in
+    let kl = String.length key and sl = String.length s in
+    let rec find i =
+      if i + kl > sl then None
+      else if String.sub s i kl = key then begin
+        let j = ref (i + kl) in
+        while
+          !j < sl && (match s.[!j] with ' ' | ':' -> true | _ -> false)
+        do
+          incr j
+        done;
+        let st = !j in
+        while
+          !j < sl
+          && (match s.[!j] with
+             | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        float_of_string_opt (String.sub s st (!j - st))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let need key =
+    match float_after key with
+    | Some v -> v
+    | None ->
+      Format.eprintf "serve-guard: %s has no %s field@." path key;
+      exit 2
+  in
+  let seq = need "seq_qps" in
+  let par = need "par_qps" in
+  let speedup = if seq > 0. then par /. seq else 0. in
+  let ok = speedup >= speedup_floor in
+  Format.printf
+    "  serve-guard: 1-domain %.1f q/s, multi-domain %.1f q/s — %.2fx \
+     (floor %.1fx) %s@."
+    seq par speedup speedup_floor (if ok then "OK" else "FAIL");
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* quick: tiny-parameter smoke of every JSON-emitting suite             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1552,7 +1825,9 @@ let quick trials =
     ~sweep_grids:[ 4; 8 ] ~search_q_bits:48 trials;
   keypool ~out:"BENCH_keypool.quick.json" ~count:4 ~block_bits:192 ~q_bits:32
     ~sweep_capacities:[ 1 ] ~sweep_workers:[ 1; 2 ] trials;
-  backends_bench ~out:"BENCH_backends.quick.json" ~grids:[ (2, 3, 8) ] trials
+  backends_bench ~out:"BENCH_backends.quick.json" ~grids:[ (2, 3, 8) ] trials;
+  serve ~out:"BENCH_serve.quick.json" ~clients:[ 1; 4 ] ~domains:[ 1; 4 ]
+    ~queue_depths:[ 64 ] ~loss_ps:[ 0.2 ] (max 3 trials)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -1630,6 +1905,8 @@ let () =
   | "faults" -> faults trials
   | "powm" -> powm_bench trials
   | "powm-guard" -> powm_guard ()
+  | "serve" -> serve trials
+  | "serve-guard" -> serve_guard ()
   | "pir" -> pir trials
   | "ot" -> ot trials
   | "keypool" -> keypool trials
@@ -1655,6 +1932,7 @@ let () =
     ot (max 2 (trials / 2));
     keypool (max 2 (trials / 2));
     backends_bench (max 2 (trials / 2));
+    serve (max 4 (trials / 2));
     micro trials
   | other ->
     Format.eprintf

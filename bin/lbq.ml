@@ -2,6 +2,7 @@
 
      lbq demo      one protocol round over a synthetic city
      lbq walk      repeated rounds along a random walk
+     lbq serve     sustained multi-tenant load over sharded worker domains
      lbq backends  one round through each pluggable PIR backend
      lbq groupgen  generate fresh Schnorr group parameters
      lbq inspect   show a parameter preset and its derived sizes
@@ -179,6 +180,125 @@ let walk_cmd =
   Cmd.v
     (Cmd.info "walk" ~doc:"Repeated private queries along a random walk.")
     Term.(ret (const walk $ preset_arg $ seed_arg $ db_arg $ prewarm_arg $ steps))
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Lbq_net.Service
+module Fleet = Lbq_net.Fleet
+module Chaos = Lbq_net.Chaos
+module Histogram = Lbq_metrics.Histogram
+module Counters = Lbq_metrics.Counters
+
+(* Boot the multi-tenant service layer over the deployment and drive it
+   with a closed-loop fleet of simulated clients, then dump per-tenant
+   and aggregate statistics.  The service stripes the stage-2 database
+   across --domains worker domains and sheds submits past --queue-depth
+   with a retry-after hint the fleet's retry policy honours. *)
+let serve preset seed db prewarm clients domains duration queue_depth loss
+    reuse =
+  if clients <= 0 then `Error (false, "--clients must be positive")
+  else if duration <= 0. then `Error (false, "--duration must be positive")
+  else if queue_depth <= 0 then `Error (false, "--queue-depth must be positive")
+  else if loss < 0. || loss >= 1. then `Error (false, "--loss must be in [0, 1)")
+  else begin
+    let params = params_of_preset ~seed:(seed ^ "-params") preset in
+    let max_domains = min 64 (Params.private_cells params) in
+    if domains < 1 || domains > max_domains then
+      `Error
+        (false,
+         Printf.sprintf "--domains must be in 1..%d for this preset"
+           max_domains)
+    else begin
+      let area, pois = build_city ?db ~seed params in
+      Format.printf "Initialising server over %d POIs ...@." (List.length pois);
+      let server = Server.create params ~area pois in
+      with_keypool ~prewarm ~seed ~params server (fun pool ->
+          let chaos =
+            if loss > 0. then Some (Chaos.drop_corrupt ~p:loss) else None
+          in
+          Format.printf
+            "Serving %d client(s) across %d domain(s), queue depth %d%s, for \
+             %.1f s ...@.@."
+            clients domains queue_depth
+            (if loss > 0. then
+               Printf.sprintf ", %.0f%% frame loss" (100. *. loss)
+             else "")
+            duration;
+          let outcome =
+            Service.with_service ~ot_seed:(seed ^ "-svc") ~queue_depth
+              ~shards:domains server (fun svc ->
+                Fleet.run ?pool svc
+                  { Fleet.default_config with
+                    Fleet.tenants = clients;
+                    stop = Fleet.Duration duration;
+                    chaos;
+                    seed = seed ^ "-fleet";
+                    reuse })
+          in
+          Format.printf "tenant    rounds  failed   sheds retries   drops@.";
+          Array.iteri
+            (fun i (t : Fleet.tenant_stats) ->
+              let c = t.Fleet.counters in
+              Format.printf "%6d  %8d %7d %7d %7d %7d@." i
+                t.Fleet.rounds_completed t.Fleet.rounds_failed
+                c.Counters.sheds c.Counters.retries c.Counters.drops)
+            outcome.Fleet.per_tenant;
+          Format.printf "%6s  %8d %7d %7d %7d %7d@.@." "all"
+            outcome.Fleet.rounds outcome.Fleet.failed outcome.Fleet.sheds
+            outcome.Fleet.retries outcome.Fleet.drops;
+          let h = outcome.Fleet.round_latency in
+          Format.printf
+            "%.1f rounds/s over %.1f s; round latency p50 %.1f ms  p95 %.1f \
+             ms  p99 %.1f ms  max %.1f ms@."
+            outcome.Fleet.qps outcome.Fleet.duration_s
+            (1000. *. Histogram.quantile_s h 0.50)
+            (1000. *. Histogram.quantile_s h 0.95)
+            (1000. *. Histogram.quantile_s h 0.99)
+            (1000. *. Histogram.max_s h);
+          Format.printf "%a@." Histogram.pp h;
+          `Ok ())
+    end
+  end
+
+let serve_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"Number of simulated clients (closed loop, one exchange in \
+                 flight each).")
+  in
+  let domains =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains; the stage-2 database is striped across \
+                 them, so each serves a ~1/N-size exponent.")
+  in
+  let duration =
+    Arg.(value & opt float 5. & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Stop starting new rounds after this long.")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Per-domain bounded-queue high watermark; submits past it \
+                 are shed with a retry-after hint.")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P"
+           ~doc:"Drop/corrupt each frame with probability P (chaos \
+                 injection); lost exchanges are retried.")
+  in
+  let reuse =
+    Arg.(value & flag & info [ "reuse" ]
+           ~doc:"Reuse each tenant's phi-hiding instance on later same-cell \
+                 rounds (paper \xc2\xa7VI: faster, but lets the server link \
+                 those rounds).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Boot the multi-tenant service layer and drive it with N \
+             simulated clients; dump per-tenant and aggregate stats at exit.")
+    Term.(ret (const serve $ preset_arg $ seed_arg $ db_arg $ prewarm_arg
+               $ clients $ domains $ duration $ queue_depth $ loss $ reuse))
 
 (* ------------------------------------------------------------------ *)
 (* backends                                                             *)
@@ -381,5 +501,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ demo_cmd; walk_cmd; backends_cmd; gen_city_cmd; groupgen_cmd;
-            inspect_cmd ]))
+          [ demo_cmd; walk_cmd; serve_cmd; backends_cmd; gen_city_cmd;
+            groupgen_cmd; inspect_cmd ]))

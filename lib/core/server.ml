@@ -211,6 +211,65 @@ let pir_respond_checked t ~(n : Z.t) ~(g : Z.t) : (Z.t, rejection) result =
 (* The CRT database integer (diagnostics; |e| drives the stage-2 cost). *)
 let pir_e_bits t = Gr.Server.e_bits t.pir
 
+(* ------------------------------------------------------------------ *)
+(* Sharded stage-2 serving                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Which shard serves private cell [idq] under [shards]-way striping.
+   This is a *published deployment convention*: the client derives it
+   locally from the credential's IDQ and addresses its stage-2 query to
+   that shard.  The privacy trade is explicit — the LS learns idq mod
+   shards, shrinking the cell anonymity set from t to ~t/shards, in
+   exchange for each shard's e_d (and thus each respond) being ~1/shards
+   of the full database.  The phi-hiding argument within a shard is
+   untouched. *)
+let shard_of_cell ~shards idq =
+  if shards <= 0 then invalid_arg "Server.shard_of_cell: shards <= 0";
+  idq mod shards
+
+(* The stage-2 database striped into [count] sub-servers: shard d
+   CRT-encodes the cells {i | i mod count = d} under the restricted
+   plan, so each carries its own ~|e|/count integer and its own cached
+   window schedule (recoded once here, at shard build).  Striping (vs
+   contiguous ranges) keeps shard load uniform for any spatially
+   clustered query mix, since neighbouring cells land on different
+   shards. *)
+let pir_shards t ~count : Gr.Server.t array =
+  let cells = Array.length t.ciphertexts in
+  if count <= 0 || count > cells then
+    invalid_arg "Server.pir_shards: count must be in [1, cells]";
+  let plan = t.public.plan in
+  Array.init count (fun d ->
+      let indices =
+        Array.of_list
+          (List.filter (fun i -> i mod count = d)
+             (List.init cells (fun i -> i)))
+      in
+      let sub_plan = Gr.plan_restrict plan ~indices in
+      let records =
+        Array.map (fun i -> Z.of_bytes_be t.ciphertexts.(i)) indices
+      in
+      Gr.Server.create ~metrics:t.metrics sub_plan records)
+
+(* Validated stage-2 handler against one shard's sub-server: the same
+   deployment-wide bounds as {!pir_respond_checked} (the modulus width a
+   legitimate query needs does not depend on which shard answers), then
+   g^{e_d} mod N on the shard's cached schedule. *)
+let pir_respond_shard_checked t (shard : Gr.Server.t) ~(n : Z.t) ~(g : Z.t) :
+    (Z.t, rejection) result =
+  let bits = Z.numbits n in
+  let limit = pir_max_modulus_bits t in
+  let floor = pir_min_modulus_bits t in
+  if bits > limit then reject t (Pir_modulus_oversized { bits; limit })
+  else if bits < floor then reject t (Pir_modulus_undersized { bits; floor })
+  else if Z.is_even n then
+    reject t (Pir_query_malformed "modulus is even")
+  else if Z.leq g Z.one then
+    reject t (Pir_base_degenerate "g <= 1")
+  else if Z.geq g (Z.pred n) then
+    reject t (Pir_base_degenerate "g >= N - 1")
+  else Ok (Gr.Server.respond shard ~n ~g)
+
 (* Introspection used by tests and examples; a real deployment would keep
    these private, which is why they sit behind explicit "trusted" names. *)
 let trusted_cell_key t idq = t.keys.(idq)

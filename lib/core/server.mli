@@ -91,6 +91,27 @@ val pir_respond_checked : t -> n:Z.t -> g:Z.t -> (Z.t, rejection) result
 (** Width of the CRT database integer (drives stage-2 server cost). *)
 val pir_e_bits : t -> int
 
+(** {2 Sharded stage-2 serving}
+
+    The private grid striped [count] ways: shard [d] CRT-encodes the
+    cells [{i | i mod count = d}], so its database integer [e_d] — and
+    every respond it answers — is ~1/count of the whole.  Shard
+    assignment is a published deployment convention the client computes
+    from its credential ([shard_of_cell]); the explicit privacy trade is
+    that the LS learns [idq mod count], shrinking the cell anonymity set
+    t to ~t/count, while phi-hiding within the shard is untouched.  Each
+    sub-server recodes its own window schedule once at build. *)
+
+val shard_of_cell : shards:int -> int -> int
+
+val pir_shards : t -> count:int -> Gr.Server.t array
+
+(** Validated stage-2 handler against one shard from {!pir_shards}:
+    identical bounds to {!pir_respond_checked}, answering
+    [g{^e_d} mod N] on the shard's cached schedule. *)
+val pir_respond_shard_checked :
+  t -> Gr.Server.t -> n:Z.t -> g:Z.t -> (Z.t, rejection) result
+
 (** Trusted introspection for tests and examples only. *)
 val trusted_cell_key : t -> int -> string
 

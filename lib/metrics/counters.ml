@@ -33,6 +33,8 @@ type t = {
   cache_hits : int Atomic.t;     (* per-cell instance-cache (LRU) hits *)
   cache_misses : int Atomic.t;   (* ... misses *)
   cache_evictions : int Atomic.t;(* entries dropped by the LRU cap *)
+  served : int Atomic.t;         (* requests completed by service workers *)
+  sheds : int Atomic.t;          (* requests refused by admission control *)
 }
 
 (* Plain-integer view for readers (tests, bench, reporting). *)
@@ -56,6 +58,8 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  served : int;
+  sheds : int;
 }
 
 let create () : t =
@@ -79,6 +83,8 @@ let create () : t =
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
     cache_evictions = Atomic.make 0;
+    served = Atomic.make 0;
+    sheds = Atomic.make 0;
   }
 
 (* A shared do-nothing sink for callers that don't measure.  The bump
@@ -108,6 +114,8 @@ let snapshot (t : t) : snapshot =
     cache_hits = Atomic.get t.cache_hits;
     cache_misses = Atomic.get t.cache_misses;
     cache_evictions = Atomic.get t.cache_evictions;
+    served = Atomic.get t.served;
+    sheds = Atomic.get t.sheds;
   }
 
 let reset (t : t) =
@@ -129,7 +137,9 @@ let reset (t : t) =
   Atomic.set t.pool_steals 0;
   Atomic.set t.cache_hits 0;
   Atomic.set t.cache_misses 0;
-  Atomic.set t.cache_evictions 0
+  Atomic.set t.cache_evictions 0;
+  Atomic.set t.served 0;
+  Atomic.set t.sheds 0
 
 let copy (t : t) : t =
   let s = snapshot t in
@@ -153,6 +163,8 @@ let copy (t : t) : t =
     cache_hits = Atomic.make s.cache_hits;
     cache_misses = Atomic.make s.cache_misses;
     cache_evictions = Atomic.make s.cache_evictions;
+    served = Atomic.make s.served;
+    sheds = Atomic.make s.sheds;
   }
 
 let bump (t : t) (cell : int Atomic.t) (n : int) =
@@ -177,6 +189,8 @@ let pool_steals (t : t) n = bump t t.pool_steals n
 let cache_hits (t : t) n = bump t t.cache_hits n
 let cache_misses (t : t) n = bump t t.cache_misses n
 let cache_evictions (t : t) n = bump t t.cache_evictions n
+let served (t : t) n = bump t t.served n
+let sheds (t : t) n = bump t t.sheds n
 
 let pp fmt (t : t) =
   let s = snapshot t in
@@ -185,11 +199,12 @@ let pp fmt (t : t) =
      transport: %d retries, %d drops, %d rejects; prime search: %d \
      candidates, %d sieved out, %d MR-tested; keypool: %d hits, %d misses, \
      %d refills, %d steals; instance cache: %d hits, %d misses, %d \
-     evictions@]"
+     evictions; service: %d served, %d shed@]"
     s.user_exp s.user_mult s.user_bytes s.server_exp s.server_mult
     s.server_bytes s.retries s.drops s.rejects s.prime_attempts
     s.sieve_rejects s.mr_calls s.pool_hits s.pool_misses s.pool_refills
-    s.pool_steals s.cache_hits s.cache_misses s.cache_evictions
+    s.pool_steals s.cache_hits s.cache_misses s.cache_evictions s.served
+    s.sheds
 
 (* ------------------------------------------------------------------ *)
 (* GC pressure                                                          *)

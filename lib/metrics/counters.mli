@@ -32,6 +32,8 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  served : int;
+  sheds : int;
 }
 
 val create : unit -> t
@@ -79,6 +81,13 @@ val cache_hits : t -> int -> unit
 
 val cache_misses : t -> int -> unit
 val cache_evictions : t -> int -> unit
+
+(** Service-layer counters: requests completed by the sharded worker
+    domains, and requests refused by admission control because a shard's
+    bounded queue was at its high watermark. *)
+val served : t -> int -> unit
+
+val sheds : t -> int -> unit
 
 val pp : Format.formatter -> t -> unit
 

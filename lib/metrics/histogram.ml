@@ -1,0 +1,136 @@
+(* Log-bucketed latency histogram for the serving layer.
+
+   Latencies span five orders of magnitude between a warm queue hit and
+   a retry storm, so fixed-width buckets are useless and storing raw
+   samples is unbounded.  Values are recorded as integer nanoseconds
+   into buckets whose width tracks magnitude — HdrHistogram's shape,
+   stripped to what the bench needs:
+
+     ns in [0, 8)            one bucket per value (exact)
+     ns with b significant
+     bits (b >= 4)           8 linear sub-buckets across [2^(b-1), 2^b)
+
+   so the relative quantile error is bounded by 12.5% and every bucket
+   boundary is pure integer arithmetic — tests can predict a quantile
+   for known inputs exactly, with no float-edge ambiguity.
+
+   Cells are [Atomic.t]: worker domains record completions concurrently
+   while the driver reads quantiles.  Like {!Counters}, reads are
+   quiescently consistent — exact once recording has stopped, which is
+   when the bench and tests look. *)
+
+(* Buckets cover ns values up to 2^62 - 1: (62 - 3) * 8 + 8 = 480. *)
+let buckets = 480
+
+type t = {
+  cells : int Atomic.t array;
+  total : int Atomic.t;      (* samples recorded *)
+  sum_ns : int Atomic.t;     (* for the mean *)
+  max_ns : int Atomic.t;     (* exact maximum *)
+}
+
+let create () =
+  {
+    cells = Array.init buckets (fun _ -> Atomic.make 0);
+    total = Atomic.make 0;
+    sum_ns = Atomic.make 0;
+    max_ns = Atomic.make 0;
+  }
+
+(* numbits for positive ints (ns values fit easily). *)
+let numbits v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let index_of_ns ns =
+  if ns < 8 then ns
+  else begin
+    let b = numbits ns in
+    let sub = (ns lsr (b - 4)) land 7 in
+    ((b - 3) * 8) + sub
+  end
+
+(* Smallest ns value mapping to bucket [k] — the value a quantile
+   reports.  Inverse of [index_of_ns] on bucket floors. *)
+let floor_of_index k =
+  if k < 8 then k
+  else begin
+    let o = k lsr 3 and sub = k land 7 in
+    (8 + sub) lsl (o - 1)
+  end
+
+let record_ns t ns =
+  let ns = if ns < 0 then 0 else ns in
+  ignore (Atomic.fetch_and_add t.cells.(index_of_ns ns) 1);
+  ignore (Atomic.fetch_and_add t.total 1);
+  ignore (Atomic.fetch_and_add t.sum_ns ns);
+  (* CAS max: racy losers retry. *)
+  let rec bump () =
+    let cur = Atomic.get t.max_ns in
+    if ns > cur && not (Atomic.compare_and_set t.max_ns cur ns) then bump ()
+  in
+  bump ()
+
+let record_s t s = record_ns t (int_of_float (Float.round (s *. 1e9)))
+
+let count t = Atomic.get t.total
+
+let mean_s t =
+  let n = count t in
+  if n = 0 then 0.
+  else float_of_int (Atomic.get t.sum_ns) /. float_of_int n /. 1e9
+
+let max_s t = float_of_int (Atomic.get t.max_ns) /. 1e9
+
+(* The q-quantile (0 <= q <= 1) as the floor of the bucket holding the
+   ceil(q * count)-th smallest sample; 0 on an empty histogram.  Within
+   a bucket the reported value under-estimates by at most 12.5%. *)
+let quantile_ns t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q outside [0, 1]";
+  let n = count t in
+  if n = 0 then 0
+  else begin
+    let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+    let acc = ref 0 and k = ref 0 and found = ref (buckets - 1) in
+    (try
+       while !k < buckets do
+         acc := !acc + Atomic.get t.cells.(!k);
+         if !acc >= rank then begin
+           found := !k;
+           raise Exit
+         end;
+         incr k
+       done
+     with Exit -> ());
+    floor_of_index !found
+  end
+
+let quantile_s t q = float_of_int (quantile_ns t q) /. 1e9
+
+let reset t =
+  Array.iter (fun c -> Atomic.set c 0) t.cells;
+  Atomic.set t.total 0;
+  Atomic.set t.sum_ns 0;
+  Atomic.set t.max_ns 0
+
+(* Fold [src] into [dst] (per-tenant histograms into the aggregate). *)
+let merge_into ~dst src =
+  Array.iteri
+    (fun k c ->
+      let v = Atomic.get c in
+      if v > 0 then ignore (Atomic.fetch_and_add dst.cells.(k) v))
+    src.cells;
+  ignore (Atomic.fetch_and_add dst.total (Atomic.get src.total));
+  ignore (Atomic.fetch_and_add dst.sum_ns (Atomic.get src.sum_ns));
+  let rec bump () =
+    let s = Atomic.get src.max_ns and cur = Atomic.get dst.max_ns in
+    if s > cur && not (Atomic.compare_and_set dst.max_ns cur s) then bump ()
+  in
+  bump ()
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[%d sample(s): mean %.6f s, p50 %.6f s, p95 %.6f s, p99 %.6f s, max \
+     %.6f s@]"
+    (count t) (mean_s t) (quantile_s t 0.5) (quantile_s t 0.95)
+    (quantile_s t 0.99) (max_s t)

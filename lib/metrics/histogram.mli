@@ -1,0 +1,54 @@
+(** Log-bucketed latency histogram for the multi-tenant serving layer.
+
+    Samples are integer nanoseconds in buckets of width proportional to
+    magnitude (8 linear sub-buckets per power of two, values below 8 ns
+    exact), so quantiles carry a bounded ≤12.5% relative error over the
+    full microsecond-to-minutes range while the histogram itself stays a
+    fixed 480-cell array.  All bucket boundaries are integer arithmetic:
+    tests can predict quantiles for known inputs exactly.
+
+    Cells are [Atomic.t]; worker domains record concurrently and readers
+    are quiescently consistent (exact once recording has stopped), the
+    same contract as {!Counters}. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one latency sample, in seconds (negative clamps to 0). *)
+val record_s : t -> float -> unit
+
+(** Record one sample in integer nanoseconds. *)
+val record_ns : t -> int -> unit
+
+(** Number of samples recorded. *)
+val count : t -> int
+
+(** [quantile_s t q] for [q] in [0, 1]: the bucket floor (in seconds) of
+    the ceil(q·count)-th smallest sample — an under-estimate by at most
+    12.5%.  0 on an empty histogram.  Raises [Invalid_argument] when [q]
+    is outside [0, 1]. *)
+val quantile_s : t -> float -> float
+
+(** Same, as integer nanoseconds (the exact value tests assert on). *)
+val quantile_ns : t -> float -> int
+
+val mean_s : t -> float
+
+(** Exact maximum recorded sample, in seconds. *)
+val max_s : t -> float
+
+val reset : t -> unit
+
+(** Fold [src]'s samples into [dst] ([src] is left unchanged); used to
+    aggregate per-tenant histograms. *)
+val merge_into : dst:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(** Bucket math, exposed for the exactness unit tests. *)
+val index_of_ns : int -> int
+
+val floor_of_index : int -> int

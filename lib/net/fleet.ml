@@ -1,0 +1,384 @@
+(* Multi-tenant load generator: N simulated users driving one {!Service}
+   in closed loop, the sustained-traffic counterpart of the single-round
+   walkthroughs in bin/lbq.
+
+   Each tenant owns a full client session — its own {!Lbq_core.Client}
+   (seeded from a [Drbg.split] child of the fleet seed, so every
+   tenant's query stream is independent and replayable), its own
+   position stream, its own {!Counters} — and optionally shares the
+   deployment {!Keypool} for warm stage-2 instances.  A round is the
+   paper's two exchanges: OT the credential for the located cell, then
+   PIR the cell block from the shard its IDQ stripes to, then decrypt.
+
+   The driver is closed-loop: one exchange in flight per tenant, the
+   next submitted from the completion of the previous, so offered load
+   tracks capacity times tenant count and queue growth is bounded by
+   design — admission control is then exercised by setting queue_depth
+   below tenants/shards.
+
+   Faults compose here, tenant-side: a per-tenant {!Chaos} instance
+   judges each request and response frame.  A lost request never
+   reaches the service (the retry just waits); a lost response wastes
+   the server work already spent — that asymmetry is what the
+   throughput-under-loss bench row measures.  Sheds and losses both
+   consume the same {!Retry} budget, with the shed's retry-after hint
+   taking precedence over the backoff curve when it is longer.
+
+   Determinism: with chaos off and no shared keypool, every tenant's
+   round sequence — positions, queries, blinding, replies — is a pure
+   function of (fleet seed, tenant id, deployment), independent of
+   shard count, domain scheduling, or completion order.  The
+   byte-identity test runs the same fleet at 1 and several domains and
+   compares full transcripts. *)
+
+open Lbq_geo
+module Client = Lbq_core.Client
+module Server = Lbq_core.Server
+module Params = Lbq_core.Params
+module Wire = Lbq_core.Wire
+module Ot = Lbq_ot.Ot
+module Keypool = Lbq_cache.Keypool
+module Drbg = Lbq_crypto.Drbg
+module Counters = Lbq_metrics.Counters
+module Histogram = Lbq_metrics.Histogram
+
+type stop = Rounds of int | Duration of float
+
+type config = {
+  tenants : int;
+  stop : stop;
+  chaos : Chaos.config option;  (* per-tenant fault injection *)
+  policy : Retry.policy;        (* budget for sheds and losses alike *)
+  seed : string;
+  record : bool;                (* keep per-round transcripts *)
+  reuse : bool;                 (* per-cell instance reuse (§VI) *)
+}
+
+let default_config =
+  {
+    tenants = 4;
+    stop = Rounds 4;
+    chaos = None;
+    policy = Retry.make ~max_attempts:8 ~timeout_s:0.002 ~backoff:2.0
+        ~max_backoff_s:0.05 ~jitter:0.1 ();
+    seed = "lbq-fleet";
+    record = false;
+    reuse = false;
+  }
+
+(* One completed round's witness, for the byte-identity tests: the
+   credential, the raw PIR group element, and the decoded POI count. *)
+type entry = { idq : int; key : string; ge : Lbq_bignum.Z.t; pois : int }
+
+(* One tenant's slice of the run, for per-tenant reporting (lbq serve). *)
+type tenant_stats = {
+  rounds_completed : int;
+  rounds_failed : int;
+  counters : Counters.snapshot;
+}
+
+type outcome = {
+  tenants : int;
+  rounds : int;          (* completed *)
+  failed : int;          (* abandoned: retry budget exhausted *)
+  duration_s : float;
+  qps : float;           (* completed rounds per second *)
+  round_latency : Histogram.t;
+  sheds : int;           (* Shed outcomes observed by tenants *)
+  retries : int;         (* re-attempts after shed or loss *)
+  drops : int;           (* frames chaos destroyed *)
+  per_tenant : tenant_stats array;
+  transcripts : entry list array;  (* per tenant, round order; [record] *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tenant state machine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type pending =
+  | P_ot of { st1 : Client.stage1; q : Ot.query }
+  | P_pir of { st2 : Client.stage2; n : Lbq_bignum.Z.t; g : Lbq_bignum.Z.t;
+               shard : int; idq : int; key : string }
+
+type tenant = {
+  id : int;
+  client : Client.t;
+  walk : Drbg.t;               (* position stream *)
+  jitter : Drbg.t;             (* backoff jitter stream *)
+  chaos : Chaos.t option;
+  metrics : Counters.t;
+  mutable seq : int;           (* exchange counter; stable across retries *)
+  mutable started : int;       (* rounds begun *)
+  mutable rounds : int;        (* rounds completed *)
+  mutable failed : int;        (* rounds abandoned *)
+  mutable failures : int;      (* consecutive failures, current exchange *)
+  mutable round_started_s : float;
+  mutable pending : pending option;
+  mutable log : entry list;    (* reverse round order *)
+}
+
+let make_tenant ~public ~chaos ~base id =
+  let label what = "t" ^ string_of_int id ^ "/" ^ what in
+  let seed = Drbg.bytes (Drbg.split base ~label:(label "client")) 32 in
+  {
+    id;
+    client = Client.create ~metrics:(Counters.create ()) ~seed public;
+    walk = Drbg.split base ~label:(label "walk");
+    jitter = Drbg.split base ~label:(label "jitter");
+    chaos =
+      Option.map
+        (fun config ->
+          Chaos.create ~config
+            ~seed:(Drbg.bytes (Drbg.split base ~label:(label "chaos")) 32)
+            ())
+        chaos;
+    metrics = Counters.create ();
+    seq = 0;
+    started = 0;
+    rounds = 0;
+    failed = 0;
+    failures = 0;
+    round_started_s = 0.;
+    pending = None;
+    log = [];
+  }
+
+(* Uniform position in the service area (a fresh placement per round —
+   the mobility scenario pack on the ROADMAP will refine this into real
+   trajectories). *)
+let draw_position area walk =
+  let frac d = float_of_int (Drbg.int d 1_000_000) /. 1e6 in
+  let lo = Coord.Rect.min area and hi = Coord.Rect.max area in
+  Coord.make
+    ~x:(Coord.x lo +. (frac walk *. (Coord.x hi -. Coord.x lo)))
+    ~y:(Coord.y lo +. (frac walk *. (Coord.y hi -. Coord.y lo)))
+
+(* Does the tenant-side chaos destroy this frame?  Anything short of a
+   byte-exact delivery counts as a loss: a corrupted or truncated frame
+   would fail wire decode or server validation and cost the same retry.
+   The frame is a thunk so chaos-off runs never pay for encoding. *)
+let frame_lost tenant frame =
+  match tenant.chaos with
+  | None -> false
+  | Some c ->
+    let frame = frame () in
+    let verdict = Chaos.next c frame in
+    (match verdict.Chaos.delivered with
+     | Some bytes when String.equal bytes frame -> false
+     | _ -> true)
+
+let request_frame ~group tenant =
+  match tenant.pending with
+  | Some (P_ot { q; _ }) -> Wire.ot_query_encode group q
+  | Some (P_pir { n; g; _ }) -> Wire.pir_query_encode (n, g)
+  | None -> invalid_arg "Fleet.request_frame: no pending exchange"
+
+let reply_frame ~group tenant (reply : Service.reply) =
+  match tenant.pending, reply with
+  | _, Service.Ot_reply (Ok resp) -> Wire.ot_response_encode group resp
+  | Some (P_pir { n; _ }), Service.Pir_reply (Ok ge) ->
+    Wire.pir_response_encode ~n ge
+  | _, _ -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run ?pool ?clock (service : Service.t) (config : config) : outcome =
+  if config.tenants < 1 then invalid_arg "Fleet.run: tenants < 1";
+  (match config.stop with
+   | Rounds r when r < 1 -> invalid_arg "Fleet.run: rounds < 1"
+   | Duration d when d <= 0. -> invalid_arg "Fleet.run: duration <= 0"
+   | _ -> ());
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  let server = Service.server service in
+  let public = Server.public_info server in
+  let group = (Server.params server).Params.group in
+  let shards = Service.shard_count service in
+  let base = Drbg.create ~domain:"lbq-fleet" ~seed:config.seed () in
+  let tenants =
+    Array.init config.tenants (make_tenant ~public ~chaos:config.chaos ~base)
+  in
+  let round_latency = Histogram.create () in
+  let in_flight = ref 0 in
+  let backoffs = ref ([] : (float * tenant) list) in
+  let started_s = clock () in
+  let deadline =
+    match config.stop with
+    | Duration d -> Some (started_s +. d)
+    | Rounds _ -> None
+  in
+  let may_start tenant now =
+    (match deadline with Some d -> now < d | None -> true)
+    && (match config.stop with
+        | Rounds r -> tenant.started < r
+        | Duration _ -> true)
+  in
+  let schedule tenant resume_s =
+    backoffs := (resume_s, tenant) :: !backoffs
+  in
+  (* Forward references: dispatch / abandon / start_round call into each
+     other around the retry loop. *)
+  let rec start_round tenant now =
+    tenant.started <- tenant.started + 1;
+    tenant.failures <- 0;
+    tenant.round_started_s <- now;
+    let position = draw_position public.Server.area tenant.walk in
+    let cell = Client.locate tenant.client position in
+    let st1, q = Client.stage1_query tenant.client cell in
+    tenant.pending <- Some (P_ot { st1; q });
+    dispatch tenant now
+  (* The current exchange failed once more (shed or lost frame): retry
+     within the budget — honouring a shed's retry-after hint when it
+     exceeds the backoff curve — or abandon the round. *)
+  and back_off tenant now ~min_wait_s =
+    tenant.failures <- tenant.failures + 1;
+    Counters.retries tenant.metrics 1;
+    if tenant.failures >= config.policy.Retry.max_attempts then
+      abandon tenant now
+    else begin
+      let wait =
+        Retry.wait_s config.policy ~failures:tenant.failures
+          ~rand:(fun bound -> Drbg.int tenant.jitter bound)
+      in
+      schedule tenant (now +. Float.max wait min_wait_s)
+    end
+  and abandon tenant now =
+    tenant.failed <- tenant.failed + 1;
+    tenant.pending <- None;
+    (* fresh exchange id for the next round: never reuse a stream that
+       may still have a reply in flight somewhere *)
+    tenant.seq <- tenant.seq + 1;
+    if may_start tenant now then start_round tenant now
+  and dispatch tenant now =
+    if frame_lost tenant (fun () -> request_frame ~group tenant) then begin
+      (* the request never reached the service: no server work burned *)
+      Counters.drops tenant.metrics 1;
+      back_off tenant now ~min_wait_s:0.
+    end
+    else begin
+      let request =
+        match tenant.pending with
+        | Some (P_ot { q; _ }) -> Service.Ot_query q
+        | Some (P_pir { n; g; shard; _ }) -> Service.Pir_query { shard; n; g }
+        | None -> assert false
+      in
+      match Service.submit service ~tenant:tenant.id ~seq:tenant.seq request with
+      | Service.Accepted _ -> incr in_flight
+      | Service.Shed { retry_after_s } ->
+        Counters.sheds tenant.metrics 1;
+        back_off tenant now ~min_wait_s:retry_after_s
+    end
+  in
+  let complete_round tenant now entry =
+    tenant.rounds <- tenant.rounds + 1;
+    Histogram.record_s round_latency (now -. tenant.round_started_s);
+    if config.record then tenant.log <- entry :: tenant.log;
+    tenant.pending <- None;
+    tenant.seq <- tenant.seq + 1;
+    tenant.failures <- 0;
+    if may_start tenant now then start_round tenant now
+  in
+  let handle_completion tk now =
+    decr in_flight;
+    let tenant = tenants.(Service.ticket_tenant tk) in
+    let reply =
+      match Service.ticket_reply tk with Some r -> r | None -> assert false
+    in
+    if Service.ticket_seq tk <> tenant.seq then
+      (* a reply from an exchange this tenant already abandoned *)
+      ()
+    else if frame_lost tenant (fun () -> reply_frame ~group tenant reply)
+    then begin
+      (* response lost: the server work is spent; resubmit the same
+         (tenant, seq) — the service re-derives identical bytes *)
+      Counters.drops tenant.metrics 1;
+      back_off tenant now ~min_wait_s:0.
+    end
+    else
+      match tenant.pending, reply with
+      | Some (P_ot { st1; _ }), Service.Ot_reply (Ok resp) ->
+        let cred = Client.stage1_decode tenant.client st1 resp in
+        let idq = Client.credential_idq cred in
+        let st2, (n, g) =
+          Client.stage2_query ~reuse:config.reuse ?pool tenant.client cred
+        in
+        tenant.seq <- tenant.seq + 1;
+        tenant.failures <- 0;
+        tenant.pending <-
+          Some
+            (P_pir
+               { st2; n; g; shard = Server.shard_of_cell ~shards idq; idq;
+                 key = Client.credential_key cred });
+        dispatch tenant now
+      | Some (P_pir { st2; idq; key; _ }), Service.Pir_reply (Ok ge) ->
+        let pois = Client.stage2_decode tenant.client st2 ge in
+        complete_round tenant now { idq; key; ge; pois = List.length pois }
+      | _, (Service.Ot_reply (Error _) | Service.Pir_reply (Error _)) ->
+        (* validation rejected an honest query: only possible under
+           corruption that slipped the frame check — abandon *)
+        abandon tenant now
+      | _ -> assert false
+  in
+  (* main loop: release due backoffs, then block on the next completion
+     when work is in flight, else sleep to the earliest resume. *)
+  let rec loop () =
+    let now = clock () in
+    let due, later = List.partition (fun (at, _) -> at <= now) !backoffs in
+    backoffs := later;
+    List.iter
+      (fun (_, tenant) ->
+        if tenant.pending <> None then
+          if (match deadline with Some d -> now >= d | None -> false) then begin
+            tenant.failed <- tenant.failed + 1;
+            tenant.pending <- None
+          end
+          else dispatch tenant now)
+      due;
+    if !in_flight > 0 then begin
+      match Service.next_done service with
+      | Some tk -> handle_completion tk (clock ()); loop ()
+      | None -> ()
+    end
+    else
+      match !backoffs with
+      | [] -> () (* every tenant is done *)
+      | waiting ->
+        let earliest =
+          List.fold_left (fun acc (at, _) -> Float.min acc at) infinity waiting
+        in
+        let wait = earliest -. clock () in
+        if wait > 0. then Unix.sleepf (Float.min wait 0.05);
+        loop ()
+  in
+  let now0 = clock () in
+  Array.iter (fun tenant -> start_round tenant now0) tenants;
+  loop ();
+  let finished_s = clock () in
+  let duration_s = Float.max 1e-9 (finished_s -. started_s) in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tenants in
+  let counter f =
+    sum (fun t -> f (Counters.snapshot t.metrics))
+  in
+  let rounds = sum (fun t -> t.rounds) in
+  {
+    tenants = config.tenants;
+    rounds;
+    failed = sum (fun t -> t.failed);
+    duration_s;
+    qps = float_of_int rounds /. duration_s;
+    round_latency;
+    sheds = counter (fun s -> s.Counters.sheds);
+    retries = counter (fun s -> s.Counters.retries);
+    drops = counter (fun s -> s.Counters.drops);
+    per_tenant =
+      Array.map
+        (fun t ->
+          {
+            rounds_completed = t.rounds;
+            rounds_failed = t.failed;
+            counters = Counters.snapshot t.metrics;
+          })
+        tenants;
+    transcripts = Array.map (fun t -> List.rev t.log) tenants;
+  }

@@ -1,0 +1,316 @@
+(* Multi-tenant service layer: the LS as a long-running server under
+   sustained traffic, rather than the one-shot batch serving of {!Serve}.
+
+   Three mechanisms, composed:
+
+   - Sharding.  The stage-2 database is striped across S sub-servers
+     ({!Lbq_core.Server.pir_shards}): shard d CRT-encodes the cells
+     {i | i mod S = d}, so its database integer e_d — and every
+     g^{e_d} mod N it answers — is ~1/S of the whole.  One worker
+     domain owns each shard (its queue, its cached window schedule),
+     so throughput scales with domains twice over: S-way parallelism
+     on ~1/S-cost responses.  Long-lived domains also keep their
+     bignum {!Scratch} slots warm across requests (Domain.DLS), so
+     steady-state serving allocates only results.
+
+   - Admission control.  Each shard queue is bounded; a submit that
+     finds the queue at its high watermark is refused with a
+     retry-after hint derived from the backlog and the shard's smoothed
+     service time.  A shed is data (like {!Lbq_core.Server.rejection}),
+     so the chaos/Retry machinery treats it as one more retryable
+     fault — backpressure composes with packet loss instead of
+     deadlocking behind it.
+
+   - Deterministic identity.  OT responses need fresh blinding; each
+     request's DRBG child is forked from the service seed by
+     (tenant, seq) — not by arrival order, shard, or domain — so any
+     interleaving of any number of workers is byte-identical to the
+     {!respond_reference} sequential oracle, and a retried (tenant,
+     seq) re-derives the same reply (idempotent round resume, as in
+     {!Session}).
+
+   Concurrency skeleton: one mutex guards every queue; workers sleep on
+   [work], completion consumers on [done_c].  All cryptographic work
+   happens outside the lock, so at realistic service times (hundreds of
+   microseconds and up per respond) the lock is uncontended. *)
+
+open Lbq_bignum
+module Server = Lbq_core.Server
+module Params = Lbq_core.Params
+module Ot = Lbq_ot.Ot
+module Gr = Lbq_pir.Gr
+module Drbg = Lbq_crypto.Drbg
+module Counters = Lbq_metrics.Counters
+module Histogram = Lbq_metrics.Histogram
+
+type request =
+  | Ot_query of Ot.query
+  | Pir_query of { shard : int; n : Z.t; g : Z.t }
+
+type reply =
+  | Ot_reply of (Ot.response, Server.rejection) result
+  | Pir_reply of (Z.t, Server.rejection) result
+
+type ticket = {
+  tenant : int;
+  seq : int;
+  request : request;
+  submitted_s : float;
+  mutable reply : reply option;    (* written once, under the lock *)
+  mutable latency_s : float;       (* submit -> completion, once done *)
+}
+
+type outcome = Accepted of ticket | Shed of { retry_after_s : float }
+
+type t = {
+  server : Server.t;
+  shards : Gr.Server.t array;
+  ot_base : Drbg.t;
+    (* parent of every per-request OT stream; [Drbg.split] reads only
+       immutable state, so workers fork from it without the lock *)
+  queue_depth : int;
+  clock : unit -> float;
+  metrics : Counters.t;
+  latency : Histogram.t;
+  lock : Mutex.t;
+  work : Condition.t;
+  done_c : Condition.t;
+  queues : ticket Queue.t array;   (* one bounded queue per shard *)
+  completed : ticket Queue.t;      (* drained by [next_done] *)
+  ewma_s : float array;            (* per-shard smoothed service time *)
+  mutable stop : bool;
+  mutable pool : Pool.t option;    (* None: pump mode (tests) *)
+}
+
+let shard_count t = Array.length t.shards
+let queue_depth t = t.queue_depth
+let server t = t.server
+let latency t = t.latency
+
+let queue_length t d =
+  if d < 0 || d >= Array.length t.queues then
+    invalid_arg "Service.queue_length: shard out of range";
+  Mutex.lock t.lock;
+  let n = Queue.length t.queues.(d) in
+  Mutex.unlock t.lock;
+  n
+
+let ticket_tenant tk = tk.tenant
+let ticket_seq tk = tk.seq
+let ticket_request tk = tk.request
+let ticket_reply tk = tk.reply
+let ticket_latency_s tk = tk.latency_s
+
+(* Answer one request; safe from any domain.  The OT blinding stream is
+   a pure function of (service seed, tenant, seq). *)
+let handle t ~tenant ~seq = function
+  | Ot_query q ->
+    let child =
+      Drbg.split t.ot_base
+        ~label:("t" ^ string_of_int tenant ^ "/q" ^ string_of_int seq)
+    in
+    Ot_reply (Server.ot_respond_checked ~rand:(Drbg.rand child) t.server q)
+  | Pir_query { shard; n; g } ->
+    Pir_reply (Server.pir_respond_shard_checked t.server t.shards.(shard) ~n ~g)
+
+(* The sequential oracle: what the service must answer for this
+   (tenant, seq, request), computed inline with no queue, no workers.
+   The byte-identity tests and the bench assertion compare against it. *)
+let respond_reference t ~tenant ~seq request = handle t ~tenant ~seq request
+
+(* Service one ticket on shard [d] (worker domain or pump): all crypto
+   outside the lock, then publish the reply and wake consumers. *)
+let complete t d tk =
+  let start_s = t.clock () in
+  let reply = handle t ~tenant:tk.tenant ~seq:tk.seq tk.request in
+  let now = t.clock () in
+  let service_s = now -. tk.submitted_s in
+  Mutex.lock t.lock;
+  tk.reply <- Some reply;
+  tk.latency_s <- service_s;
+  let own = now -. start_s in
+  t.ewma_s.(d) <-
+    (if t.ewma_s.(d) = 0. then own
+     else (0.875 *. t.ewma_s.(d)) +. (0.125 *. own));
+  Queue.push tk t.completed;
+  Condition.broadcast t.done_c;
+  Mutex.unlock t.lock;
+  Counters.served t.metrics 1;
+  Histogram.record_s t.latency service_s
+
+let rec worker_loop t d =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queues.(d) && not t.stop do
+    Condition.wait t.work t.lock
+  done;
+  match Queue.take_opt t.queues.(d) with
+  | None ->
+    (* stop requested and this shard's backlog is drained *)
+    Mutex.unlock t.lock
+  | Some tk ->
+    Mutex.unlock t.lock;
+    complete t d tk;
+    worker_loop t d
+
+let create ?ot_seed ?metrics ?clock ?(queue_depth = 64) ?(spawn = true)
+    ~shards server =
+  if queue_depth < 1 then invalid_arg "Service.create: queue_depth < 1";
+  if shards < 1 || shards > 64 then
+    invalid_arg "Service.create: shards must be in [1, 64]";
+  let metrics =
+    match metrics with Some m -> m | None -> Server.metrics server
+  in
+  let seed =
+    match ot_seed with
+    | Some s -> s
+    | None -> (Server.params server).Params.seed
+  in
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  let t =
+    {
+      server;
+      shards = Server.pir_shards server ~count:shards;
+      ot_base = Drbg.create ~domain:"lbq-service-ot" ~seed ();
+      queue_depth;
+      clock;
+      metrics;
+      latency = Histogram.create ();
+      lock = Mutex.create ();
+      work = Condition.create ();
+      done_c = Condition.create ();
+      queues = Array.init shards (fun _ -> Queue.create ());
+      completed = Queue.create ();
+      ewma_s = Array.make shards 0.;
+      stop = false;
+      pool = None;
+    }
+  in
+  if spawn then begin
+    let p = Pool.create ~domains:shards () in
+    t.pool <- Some p;
+    for d = 0 to shards - 1 do
+      Pool.submit p (fun () -> worker_loop t d)
+    done
+  end;
+  t
+
+(* Route to a shard queue: PIR queries carry their shard (the client
+   derives it from its credential's IDQ — see
+   {!Lbq_core.Server.shard_of_cell}); OT queries can be answered by any
+   worker, so tenant affinity just spreads them evenly. *)
+let submit t ~tenant ~seq request =
+  let d =
+    match request with
+    | Pir_query { shard; _ } ->
+      if shard < 0 || shard >= Array.length t.shards then
+        invalid_arg "Service.submit: shard out of range";
+      shard
+    | Ot_query _ -> tenant mod Array.length t.shards
+  in
+  Mutex.lock t.lock;
+  if t.stop then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Service.submit: after shutdown"
+  end;
+  let backlog = Queue.length t.queues.(d) in
+  if backlog >= t.queue_depth then begin
+    (* High watermark: shed with a hint — long enough for the present
+       backlog to clear at the shard's smoothed service rate. *)
+    let retry_after_s =
+      Float.max 5e-4 (float_of_int backlog *. t.ewma_s.(d))
+    in
+    Mutex.unlock t.lock;
+    Counters.sheds t.metrics 1;
+    Shed { retry_after_s }
+  end
+  else begin
+    let tk =
+      { tenant; seq; request; submitted_s = t.clock (); reply = None;
+        latency_s = 0. }
+    in
+    Queue.push tk t.queues.(d);
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Accepted tk
+  end
+
+(* Pump mode: drain every shard queue inline on the calling domain
+   (deterministic single-threaded processing for the admission tests).
+   Returns the number of requests served. *)
+let pump t =
+  let n = ref 0 in
+  let rec drain d =
+    Mutex.lock t.lock;
+    match Queue.take_opt t.queues.(d) with
+    | None -> Mutex.unlock t.lock
+    | Some tk ->
+      Mutex.unlock t.lock;
+      complete t d tk;
+      incr n;
+      drain d
+  in
+  for d = 0 to Array.length t.queues - 1 do
+    drain d
+  done;
+  !n
+
+(* Block until [tk] completes.  In pump mode the caller's own domain
+   drains the queues.  Note: [await] does not consume from the
+   completion queue — a service instance is driven either by [await]
+   (tests) or by [next_done] (the fleet), not both. *)
+let rec await t tk =
+  match tk.reply with
+  | Some r -> r
+  | None ->
+    if t.pool = None then begin
+      ignore (pump t);
+      await t tk
+    end
+    else begin
+      Mutex.lock t.lock;
+      let rec wait () =
+        match tk.reply with
+        | Some r -> Mutex.unlock t.lock; r
+        | None -> Condition.wait t.done_c t.lock; wait ()
+      in
+      wait ()
+    end
+
+(* Pop the next completed ticket, blocking while none is ready.  The
+   caller must have work in flight (or call from pump mode, where an
+   empty service returns [None] instead of blocking forever). *)
+let rec next_done t =
+  Mutex.lock t.lock;
+  match Queue.take_opt t.completed with
+  | Some tk -> Mutex.unlock t.lock; Some tk
+  | None ->
+    if t.pool = None then begin
+      Mutex.unlock t.lock;
+      if pump t = 0 then None else next_done t
+    end
+    else if t.stop then begin
+      Mutex.unlock t.lock;
+      None
+    end
+    else begin
+      Condition.wait t.done_c t.lock;
+      Mutex.unlock t.lock;
+      next_done t
+    end
+
+(* Stop accepting, let workers drain their backlogs, join the domains.
+   Idempotent. *)
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stop then Mutex.unlock t.lock
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Condition.broadcast t.done_c;
+    Mutex.unlock t.lock;
+    match t.pool with None -> () | Some p -> Pool.shutdown p
+  end
+
+let with_service ?ot_seed ?metrics ?clock ?queue_depth ?spawn ~shards server f =
+  let t = create ?ot_seed ?metrics ?clock ?queue_depth ?spawn ~shards server in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

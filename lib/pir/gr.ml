@@ -67,6 +67,27 @@ let plan_slot plan i =
 (* Capacity check: every record must fit its slot. *)
 let fits plan i (v : Z.t) = Z.lt v (plan_slot plan i).pi
 
+(* Sub-plan over a subset of slots, for sharded serving: shard d of S
+   holds the slots [indices] and CRT-encodes only those records, so its
+   e_d is ~|e|/S bits and a respond costs ~1/S of the full database's
+   multiplications.  The slots themselves are shared verbatim with the
+   parent plan — a client instance built for slot i of the parent
+   phi-hides the same pi and decodes a shard response g^{e_d} exactly as
+   it would g^e, because decode only sees g^{e_d · phi/pi} and
+   e_d = C_i (mod pi) just like e. *)
+let plan_restrict plan ~indices =
+  let n = plan_size plan in
+  if Array.length indices = 0 then invalid_arg "Gr.plan_restrict: no indices";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Gr.plan_restrict: index out of range";
+      if seen.(i) then invalid_arg "Gr.plan_restrict: duplicate index";
+      seen.(i) <- true)
+    indices;
+  { slots = Array.map (fun i -> plan.slots.(i)) indices;
+    block_bits = plan.block_bits }
+
 (* ------------------------------------------------------------------ *)
 (* Server                                                               *)
 (* ------------------------------------------------------------------ *)

@@ -28,6 +28,15 @@ val plan_slot : plan -> int -> slot
 (** Does value [v] fit in slot [i]? *)
 val fits : plan -> int -> Z.t -> bool
 
+(** Sub-plan holding exactly the parent slots named by [indices] (order
+    preserved, slots shared verbatim), for sharded serving: a shard's
+    server CRT-encodes only its own records, so its [e_d] — and every
+    respond — shrinks proportionally.  A client instance built against
+    the parent plan for a slot in [indices] decodes the shard's response
+    unchanged, since [e_d ≡ e (mod pi)] for every shard slot.  Raises
+    [Invalid_argument] on empty, out-of-range, or duplicate indices. *)
+val plan_restrict : plan -> indices:int array -> plan
+
 module Server : sig
   type t
 

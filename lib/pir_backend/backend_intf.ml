@@ -128,6 +128,21 @@ let read_u32 s off =
   done;
   !v
 
+(* Fixed-width 8-byte words for backends whose elements outgrow u32
+   (the lattice backend's q = 2^34 torus words).  Values must fit an
+   OCaml int, so the top two bits of an honest frame are always zero;
+   [read_u64] rejects anything larger rather than silently wrapping. *)
+let u64 v = String.init 8 (fun k -> Char.chr ((v lsr ((7 - k) * 8)) land 0xff))
+
+let read_u64 s off =
+  if off < 0 || off + 8 > String.length s then malformed "truncated u64";
+  if Char.code s.[off] >= 0x40 then malformed "u64 out of int range";
+  let v = ref 0 in
+  for k = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + k]
+  done;
+  !v
+
 let lp (s : string) : string = u32 (String.length s) ^ s
 
 let read_lp s off =

@@ -4,9 +4,13 @@
    online loop is machine-word arithmetic, no [lbq_bignum] anywhere on
    the hot path.
 
-   Everything lives on the discretised torus Z_q with q = 2^30, so one
+   Everything lives on the discretised torus Z_q with q = 2^34, so one
    OCaml int holds an element and products of a byte by an element fit
    a 63-bit word with room to accumulate a whole row before reduction.
+   (q was 2^30 through PR 7; the wider modulus buys a 16x larger noise
+   budget — max_cols 2056 -> 32896 — at the price of 8-byte instead of
+   4-byte wire words.  Both divide 2^63, so native-int wraparound stays
+   a faithful mod-q reduction either way.)
 
    Setup (server, once).  The blocks are flattened byte-wise into a
    matrix M over Z_256 with mrows = rows * block_len matrix rows (matrix
@@ -28,7 +32,7 @@
 
    Decode (client).  ans_i - <H_i, s> = delta * M[i][col*] + noise with
    |noise| <= cols * 255 * 4, so rounding to the nearest multiple of
-   delta recovers byte i of the target column provided cols <= 2048
+   delta recovers byte i of the target column provided cols <= 32896
    (enforced at encode).  Correctness is exact under that bound — the
    differential harness byte-checks it against Gr and QR. *)
 
@@ -38,7 +42,7 @@ module Drbg = Lbq_crypto.Drbg
 
 (* ---- torus parameters (shared by every instantiation) ---- *)
 
-let log_q = 30
+let log_q = 34
 let q_mask = (1 lsl log_q) - 1
 let log_delta = log_q - 8          (* plaintext space Z_256: one byte *)
 let delta = 1 lsl log_delta
@@ -143,19 +147,25 @@ module Make (C : CONFIG) : B.S = struct
 
   (* Expand the public matrix A (cols x n words, row-major) from its
      seed.  Server (hint) and client (query) must agree word for word,
-     so both funnel through here. *)
+     so both funnel through here.  One 8-byte big-endian draw per word,
+     masked to the low log_q bits: uniform on Z_q since q is a power of
+     two.  The intermediate shifts may wrap mod 2^63, which leaves the
+     low 34 bits untouched. *)
+  let word_of_bytes (raw : string) (i : int) : int =
+    let v = ref 0 in
+    for k = 0 to 7 do
+      v := (!v lsl 8) lor Char.code raw.[(8 * i) + k]
+    done;
+    !v land q_mask
+
   let expand_a ~a_seed ~cols : int array =
     let drbg = Drbg.create ~domain:"lwe-backend-A" ~seed:a_seed () in
-    let raw = Drbg.bytes drbg (4 * cols * n) in
-    Array.init (cols * n) (fun i ->
-        let b k = Char.code raw.[(4 * i) + k] in
-        ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3) land q_mask)
+    let raw = Drbg.bytes drbg (8 * cols * n) in
+    Array.init (cols * n) (word_of_bytes raw)
 
   let words_of_rand rand count =
-    let raw = rand (4 * count) in
-    Array.init count (fun i ->
-        let b k = Char.code raw.[(4 * i) + k] in
-        ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3) land q_mask)
+    let raw = rand (8 * count) in
+    Array.init count (word_of_bytes raw)
 
   let encode ?(metrics = Counters.null) ~rand (blocks : string array array)
     : server =
@@ -173,10 +183,11 @@ module Make (C : CONFIG) : B.S = struct
       done
     done;
     let a_seed = rand seed_len in
-    (* H[i][k] = sum_j M[i][j] * A[j][k].  Products are <= 2^38 and
-       cols <= 2^11, so a full row accumulates well inside 63 bits and
-       one final mask suffices.  Computed at most once per (M, A): the
-       hint cache serves repeats of the same grid under the same seed. *)
+    (* H[i][k] = sum_j M[i][j] * A[j][k].  Products are < 2^42 and
+       cols <= 32896 < 2^16, so a full row accumulates inside 2^58 —
+       well within 63 bits — and one final mask suffices.  Computed at
+       most once per (M, A): the hint cache serves repeats of the same
+       grid under the same seed. *)
     let hint =
       with_hint_cache (hint_cache_key ~a_seed ~n ~cols ~mrows m) (fun () ->
           let a = expand_a ~a_seed ~cols in
@@ -196,18 +207,18 @@ module Make (C : CONFIG) : B.S = struct
   let block_len (t : server) = t.block_len
 
   (* geometry ++ n ++ log_q ++ seed ++ hint words.  The hint dominates
-     (4 * mrows * n bytes) — offline bootstrap traffic, like Gr's plan
+     (8 * mrows * n bytes) — offline bootstrap traffic, like Gr's plan
      parameters, deliberately outside the per-round cost oracle. *)
   let public t =
     let buf =
-      Buffer.create (32 + String.length t.a_seed + (4 * Array.length t.hint))
+      Buffer.create (32 + String.length t.a_seed + (8 * Array.length t.hint))
     in
     Buffer.add_string buf
       (B.public_header ~rows:t.rows ~cols:t.cols ~block_len:t.block_len);
     Buffer.add_string buf (B.u32 n);
     Buffer.add_string buf (B.u32 log_q);
     Buffer.add_string buf (B.lp t.a_seed);
-    Array.iter (fun w -> Buffer.add_string buf (B.u32 w)) t.hint;
+    Array.iter (fun w -> Buffer.add_string buf (B.u64 w)) t.hint;
     Buffer.contents buf
 
   let query ?(metrics = Counters.null) ~rand ~public ~row ~col ()
@@ -216,14 +227,15 @@ module Make (C : CONFIG) : B.S = struct
     if B.read_u32 public 12 <> n then B.malformed "lwe dimension mismatch";
     if B.read_u32 public 16 <> log_q then B.malformed "lwe modulus mismatch";
     let a_seed, off = B.read_lp public 20 in
-    if String.length public <> off + (4 * rows * block_len * n) then
+    if String.length public <> off + (8 * rows * block_len * n) then
       B.malformed "lwe public length";
     B.check_target ~rows ~cols ~row ~col;
     let a = expand_a ~a_seed ~cols in
     let s = words_of_rand rand n in
     let noise = rand cols in
-    (* Accumulate raw: OCaml int addition wraps mod 2^63 and
-       2^30 | 2^63, so one final mask is a faithful mod-q reduction. *)
+    (* Accumulate raw: OCaml int arithmetic wraps mod 2^63 and
+       2^34 | 2^63, so one final mask is a faithful mod-q reduction
+       even though the word-by-word products themselves overflow. *)
     let qu =
       Array.init cols (fun j ->
           let acc = ref 0 in
@@ -235,12 +247,12 @@ module Make (C : CONFIG) : B.S = struct
           ((!acc land q_mask) + e + sel + (1 lsl log_q)) land q_mask)
     in
     Counters.user_mult metrics (cols * n);
-    Counters.user_bytes metrics (4 * cols);
+    Counters.user_bytes metrics (8 * cols);
     (* Only the hint rows of the target grid row are ever needed for
        decode; slice them out instead of holding the whole blob. *)
     let hint_row =
       Array.init (block_len * n) (fun k ->
-          B.read_u32 public (off + (4 * (((row * block_len) * n) + k))))
+          B.read_u64 public (off + (8 * (((row * block_len) * n) + k))))
     in
     { s; row; rows; block_len; hint_row; metrics }, { qu }
 
@@ -269,8 +281,9 @@ module Make (C : CONFIG) : B.S = struct
       (fun w -> if w < 0 || w > q_mask then B.malformed "lwe query word range")
       q.qu;
     (* The hot loop: mrows * cols word multiply-accumulates, nothing
-       else.  Products are <= 2^38; cols <= 2^11 keeps the running sum
-       inside 63 bits, so the mask is paid once per matrix row. *)
+       else.  Products are < 2^42; cols <= 32896 < 2^16 keeps the
+       running sum under 2^58, so the mask is paid once per matrix
+       row. *)
     let ans =
       Array.init t.mrows (fun i ->
           let base = i * t.cols in
@@ -282,24 +295,24 @@ module Make (C : CONFIG) : B.S = struct
           !acc land q_mask)
     in
     Counters.server_mult t.metrics (t.mrows * t.cols);
-    Counters.server_bytes t.metrics (4 * t.mrows);
+    Counters.server_bytes t.metrics (8 * t.mrows);
     { ans }
 
-  (* ---- wire: a u32 count followed by count u32 torus words ---- *)
+  (* ---- wire: a u32 count followed by count u64 torus words ---- *)
 
   let words_encode ws =
-    let buf = Buffer.create (4 + (4 * Array.length ws)) in
+    let buf = Buffer.create (4 + (8 * Array.length ws)) in
     Buffer.add_string buf (B.u32 (Array.length ws));
-    Array.iter (fun w -> Buffer.add_string buf (B.u32 w)) ws;
+    Array.iter (fun w -> Buffer.add_string buf (B.u64 w)) ws;
     Buffer.contents buf
 
   let words_decode ~what ~min_count (s : string) : int array =
     let count = B.read_u32 s 0 in
     if count < min_count || count > max_wire_words then
       B.malformed (what ^ " count");
-    if String.length s <> 4 + (4 * count) then B.malformed (what ^ " length");
+    if String.length s <> 4 + (8 * count) then B.malformed (what ^ " length");
     Array.init count (fun i ->
-        let w = B.read_u32 s (4 + (4 * i)) in
+        let w = B.read_u64 s (4 + (8 * i)) in
         if w > q_mask then B.malformed (what ^ " word out of range");
         w)
 
@@ -314,8 +327,8 @@ module Make (C : CONFIG) : B.S = struct
   (* Exact by construction: the query is always cols words, the answer
      always mrows words, and the loop runs mrows * cols multiplies. *)
   let predicted_cost (t : server) (_q : query) : B.cost =
-    { query_bytes = 4 + (4 * t.cols);
-      response_bytes = 4 + (4 * t.mrows);
+    { query_bytes = 4 + (8 * t.cols);
+      response_bytes = 4 + (8 * t.mrows);
       server_mults = t.mrows * t.cols }
 end
 

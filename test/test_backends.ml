@@ -197,8 +197,9 @@ let check_malformed name f =
     Alcotest.failf "%s: expected Malformed, got %s" name (Printexc.to_string e)
   | _ -> Alcotest.failf "%s: malformed frame accepted" name
 
-(* Bit-level u32 helper mirrored from the backend wire layer. *)
+(* Bit-level u32/u64 helpers mirrored from the backend wire layer. *)
 let u32 v = String.init 4 (fun k -> Char.chr ((v lsr ((3 - k) * 8)) land 0xff))
+let u64 v = String.init 8 (fun k -> Char.chr ((v lsr ((7 - k) * 8)) land 0xff))
 
 (* Every backend must refuse garbage and truncations at the frame layer. *)
 let test_garbage_frames (_ : Counters.t) =
@@ -237,16 +238,22 @@ let test_lwe_malformed_frames (_ : Counters.t) =
       check_malformed "extended" (fun () -> M.query_decode (honest ^ "\x00"));
       (* Count field inconsistent with the payload. *)
       check_malformed "count too small" (fun () ->
-          M.query_decode (u32 (cols - 1) ^ String.sub honest 4 (4 * cols)));
+          M.query_decode (u32 (cols - 1) ^ String.sub honest 4 (8 * cols)));
       check_malformed "count zero" (fun () -> M.query_decode (u32 0));
       check_malformed "count huge" (fun () ->
-          M.query_decode (u32 ((1 lsl 20) + 1) ^ String.sub honest 4 (4 * cols)));
-      (* A word with bits above the 30-bit torus modulus. *)
+          M.query_decode (u32 ((1 lsl 20) + 1) ^ String.sub honest 4 (8 * cols)));
+      (* A word with bits above the 34-bit torus modulus. *)
       check_malformed "word out of range" (fun () ->
-          M.query_decode (u32 cols ^ u32 0xC0000000 ^ String.sub honest 8 8));
+          M.query_decode
+            (u32 cols ^ u64 (1 lsl 34) ^ String.sub honest 12 (8 * (cols - 1))));
+      (* A word that does not even fit a 63-bit OCaml int. *)
+      check_malformed "word beyond int" (fun () ->
+          M.query_decode
+            (u32 cols ^ "\xff" ^ String.make 7 '\x00'
+             ^ String.sub honest 12 (8 * (cols - 1))));
       (* A frame valid in isolation but of the wrong width for this
          database must be refused by respond, not answered. *)
-      let narrow = M.query_decode (u32 1 ^ u32 123) in
+      let narrow = M.query_decode (u32 1 ^ u64 123) in
       check_malformed "respond width" (fun () -> M.respond server narrow);
       (* Responses validate too (the client is not a bit bucket). *)
       let resp = M.respond server (M.query_decode honest) in
@@ -254,7 +261,7 @@ let test_lwe_malformed_frames (_ : Counters.t) =
       check_malformed "response truncated" (fun () ->
           M.response_decode (String.sub rw 0 (String.length rw - 2)));
       check_malformed "response word range" (fun () ->
-          M.response_decode (u32 1 ^ u32 0x7fffffff)))
+          M.response_decode (u32 1 ^ u64 ((1 lsl 35) - 1))))
 
 (* The hint H = M * A is the dominant cost of [encode]; re-encoding the
    same grid under a replayed randomness stream (same a_seed, same M)
@@ -288,6 +295,33 @@ let test_lwe_hint_cache (_ : Counters.t) =
       let client, q = M.query ~metrics ~rand:qrand ~public ~row:1 ~col:2 () in
       let out = M.decode client (M.respond s2 q) in
       Alcotest.(check string) "cached server still decodes" blocks.(1).(2) out)
+
+(* PR 8 lifted q from 2^30 to 2^34: the rounding bound
+   cols * 255 * noise_max < delta / 2 now admits 32896 columns, 16x the
+   old 2056.  Exercise the exact boundary with a tiny LWE dimension
+   (max_cols is independent of n, and n = 1 keeps the 32896-column
+   matrices cheap): a full round at cols = max_cols still decodes the
+   right byte, and one more column is refused at encode. *)
+let test_lwe_max_cols_boundary (_ : Counters.t) =
+  let module M = Lwe_backend.Make (struct let dimension = 1 end) in
+  Fixture.with_metrics (fun metrics ->
+      Alcotest.(check int) "lifted ceiling" 32896 Lwe_backend.max_cols;
+      let cols = Lwe_backend.max_cols in
+      let blocks =
+        [| Array.init cols (fun j -> String.make 1 (Char.chr ((j * 37) land 0xff))) |]
+      in
+      let rand = Drbg.rand (Drbg.create ~seed:"lwe-boundary" ()) in
+      let server = M.encode ~metrics ~rand blocks in
+      let public = M.public server in
+      let col = cols - 1 in
+      let client, q = M.query ~metrics ~rand ~public ~row:0 ~col () in
+      let out = M.decode client (M.respond server q) in
+      Alcotest.(check string) "decodes at the ceiling" blocks.(0).(col) out;
+      let too_wide = [| Array.make (cols + 1) "\x00" |] in
+      Alcotest.check_raises "one past the ceiling"
+        (Invalid_argument
+           "Lwe_backend.encode: too many columns for the noise budget")
+        (fun () -> ignore (M.encode ~metrics ~rand too_wide)))
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                           *)
@@ -355,4 +389,6 @@ let () =
        [ Fixture.case "garbage frames" test_garbage_frames;
          Fixture.case "lwe malformed frames" test_lwe_malformed_frames ]);
       ("hint-cache", [ Fixture.case "lwe hint cache" test_lwe_hint_cache ]);
+      ("boundary",
+       [ Fixture.case "lwe max_cols ceiling" test_lwe_max_cols_boundary ]);
       ("properties", props) ]
