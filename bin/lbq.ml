@@ -196,11 +196,12 @@ module Counters = Lbq_metrics.Counters
    and aggregate statistics.  The service stripes the stage-2 database
    across --domains worker domains and sheds submits past --queue-depth
    with a retry-after hint the fleet's retry policy honours. *)
-let serve preset seed db prewarm clients domains duration queue_depth loss
-    reuse =
+let serve preset seed db prewarm clients domains duration queue_depth batch
+    loss reuse =
   if clients <= 0 then `Error (false, "--clients must be positive")
   else if duration <= 0. then `Error (false, "--duration must be positive")
   else if queue_depth <= 0 then `Error (false, "--queue-depth must be positive")
+  else if batch <= 0 then `Error (false, "--batch must be positive")
   else if loss < 0. || loss >= 1. then `Error (false, "--loss must be in [0, 1)")
   else begin
     let params = params_of_preset ~seed:(seed ^ "-params") preset in
@@ -219,15 +220,17 @@ let serve preset seed db prewarm clients domains duration queue_depth loss
             if loss > 0. then Some (Chaos.drop_corrupt ~p:loss) else None
           in
           Format.printf
-            "Serving %d client(s) across %d domain(s), queue depth %d%s, for \
-             %.1f s ...@.@."
-            clients domains queue_depth
+            "Serving %d client(s) across %d domain(s), queue depth %d, batch \
+             %d%s, for %.1f s ...@.@."
+            clients domains queue_depth batch
             (if loss > 0. then
                Printf.sprintf ", %.0f%% frame loss" (100. *. loss)
              else "")
             duration;
+          let svc_metrics = Counters.create () in
           let outcome =
-            Service.with_service ~ot_seed:(seed ^ "-svc") ~queue_depth
+            Service.with_service ~ot_seed:(seed ^ "-svc")
+              ~metrics:svc_metrics ~queue_depth ~batch
               ~shards:domains server (fun svc ->
                 Fleet.run ?pool svc
                   { Fleet.default_config with
@@ -257,6 +260,14 @@ let serve preset seed db prewarm clients domains duration queue_depth loss
             (1000. *. Histogram.quantile_s h 0.95)
             (1000. *. Histogram.quantile_s h 0.99)
             (1000. *. Histogram.max_s h);
+          let sc = Counters.snapshot svc_metrics in
+          if sc.Counters.batch_served > 0 then
+            Format.printf
+              "service: %d request(s) over %d dispatch(es), mean drained \
+               batch %.2f@."
+              sc.Counters.batch_size_sum sc.Counters.batch_served
+              (float_of_int sc.Counters.batch_size_sum
+               /. float_of_int sc.Counters.batch_served);
           Format.printf "%a@." Histogram.pp h;
           `Ok ())
     end
@@ -282,6 +293,13 @@ let serve_cmd =
            ~doc:"Per-domain bounded-queue high watermark; submits past it \
                  are shed with a retry-after hint.")
   in
+  let batch =
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"K"
+           ~doc:"Requests a worker drains per dispatch; a drained batch's \
+                 PIR queries share one walk of the shard's cached exponent \
+                 schedule (replies stay byte-identical to sequential \
+                 serving).")
+  in
   let loss =
     Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P"
            ~doc:"Drop/corrupt each frame with probability P (chaos \
@@ -298,7 +316,8 @@ let serve_cmd =
        ~doc:"Boot the multi-tenant service layer and drive it with N \
              simulated clients; dump per-tenant and aggregate stats at exit.")
     Term.(ret (const serve $ preset_arg $ seed_arg $ db_arg $ prewarm_arg
-               $ clients $ domains $ duration $ queue_depth $ loss $ reuse))
+               $ clients $ domains $ duration $ queue_depth $ batch $ loss
+               $ reuse))
 
 (* ------------------------------------------------------------------ *)
 (* backends                                                             *)

@@ -35,6 +35,16 @@ val powm : t -> Z.t -> Z.t -> Z.t
     schedule cached server-side. *)
 val powm_sched : t -> Z.t -> Wexp.t -> Z.t
 
+(** [powm_sched_batch ts bases s] serves [bases.(q){^e} mod modulus
+    ts.(q)] for every [q] through ONE shared schedule [s]: the ops tape
+    is walked once per window digit with the k Montgomery states
+    interleaved, instead of once per query — the multi-query fast path
+    for a server whose cached exponent schedule is common to a whole
+    batch of queries with distinct moduli.  Results and per-context tick
+    counts are identical to k independent {!powm_sched} calls.  Raises
+    [Invalid_argument] when [ts] and [bases] differ in length. *)
+val powm_sched_batch : t array -> Z.t array -> Wexp.t -> Z.t array
+
 (** One-shot modular product (converts in and out of Montgomery form;
     prefer {!Barrett.mulmod} for isolated products). *)
 val mulmod : t -> Z.t -> Z.t -> Z.t

@@ -270,6 +270,44 @@ let pir_respond_shard_checked t (shard : Gr.Server.t) ~(n : Z.t) ~(g : Z.t) :
     reject t (Pir_base_degenerate "g >= N - 1")
   else Ok (Gr.Server.respond shard ~n ~g)
 
+(* Batched variant of {!pir_respond_shard_checked}: validate every query
+   under the same deployment bounds (invalid ones become the same typed
+   rejections, with [rejects] bumped per query), then serve all the
+   valid ones through ONE walk of the shard's cached schedule
+   ({!Gr.Server.respond_batch}).  Results are positionally identical to
+   mapping {!pir_respond_shard_checked} over the queries. *)
+let pir_respond_shard_checked_batch t (shard : Gr.Server.t)
+    (queries : (Z.t * Z.t) array) : (Z.t, rejection) result array =
+  let limit = pir_max_modulus_bits t in
+  let floor = pir_min_modulus_bits t in
+  let verdict ((n : Z.t), (g : Z.t)) : rejection option =
+    let bits = Z.numbits n in
+    if bits > limit then Some (Pir_modulus_oversized { bits; limit })
+    else if bits < floor then Some (Pir_modulus_undersized { bits; floor })
+    else if Z.is_even n then Some (Pir_query_malformed "modulus is even")
+    else if Z.leq g Z.one then Some (Pir_base_degenerate "g <= 1")
+    else if Z.geq g (Z.pred n) then Some (Pir_base_degenerate "g >= N - 1")
+    else None
+  in
+  let verdicts = Array.map verdict queries in
+  let valid = ref [] in
+  Array.iteri
+    (fun i v -> if v = None then valid := i :: !valid)
+    verdicts;
+  let valid = Array.of_list (List.rev !valid) in
+  let answers =
+    Gr.Server.respond_batch shard (Array.map (fun i -> queries.(i)) valid)
+  in
+  let out =
+    Array.map
+      (function
+        | Some r -> reject t r
+        | None -> Ok Z.zero)
+      verdicts
+  in
+  Array.iteri (fun j i -> out.(i) <- Ok answers.(j)) valid;
+  out
+
 (* Introspection used by tests and examples; a real deployment would keep
    these private, which is why they sit behind explicit "trusted" names. *)
 let trusted_cell_key t idq = t.keys.(idq)

@@ -112,6 +112,14 @@ val pir_shards : t -> count:int -> Gr.Server.t array
 val pir_respond_shard_checked :
   t -> Gr.Server.t -> n:Z.t -> g:Z.t -> (Z.t, rejection) result
 
+(** Batched variant: validate every [(N, g)] under the same bounds
+    (invalid queries yield the same typed rejections), then answer all
+    valid ones through one walk of the shard's cached schedule
+    ({!Gr.Server.respond_batch}).  Positionally identical to mapping
+    {!pir_respond_shard_checked} over the queries. *)
+val pir_respond_shard_checked_batch :
+  t -> Gr.Server.t -> (Z.t * Z.t) array -> (Z.t, rejection) result array
+
 (** Trusted introspection for tests and examples only. *)
 val trusted_cell_key : t -> int -> string
 

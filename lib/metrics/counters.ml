@@ -35,6 +35,8 @@ type t = {
   cache_evictions : int Atomic.t;(* entries dropped by the LRU cap *)
   served : int Atomic.t;         (* requests completed by service workers *)
   sheds : int Atomic.t;          (* requests refused by admission control *)
+  batch_served : int Atomic.t;   (* drained batches dispatched by workers *)
+  batch_size_sum : int Atomic.t; (* total requests across those batches *)
 }
 
 (* Plain-integer view for readers (tests, bench, reporting). *)
@@ -60,6 +62,8 @@ type snapshot = {
   cache_evictions : int;
   served : int;
   sheds : int;
+  batch_served : int;
+  batch_size_sum : int;
 }
 
 let create () : t =
@@ -85,6 +89,8 @@ let create () : t =
     cache_evictions = Atomic.make 0;
     served = Atomic.make 0;
     sheds = Atomic.make 0;
+    batch_served = Atomic.make 0;
+    batch_size_sum = Atomic.make 0;
   }
 
 (* A shared do-nothing sink for callers that don't measure.  The bump
@@ -116,6 +122,8 @@ let snapshot (t : t) : snapshot =
     cache_evictions = Atomic.get t.cache_evictions;
     served = Atomic.get t.served;
     sheds = Atomic.get t.sheds;
+    batch_served = Atomic.get t.batch_served;
+    batch_size_sum = Atomic.get t.batch_size_sum;
   }
 
 let reset (t : t) =
@@ -139,7 +147,9 @@ let reset (t : t) =
   Atomic.set t.cache_misses 0;
   Atomic.set t.cache_evictions 0;
   Atomic.set t.served 0;
-  Atomic.set t.sheds 0
+  Atomic.set t.sheds 0;
+  Atomic.set t.batch_served 0;
+  Atomic.set t.batch_size_sum 0
 
 let copy (t : t) : t =
   let s = snapshot t in
@@ -165,6 +175,8 @@ let copy (t : t) : t =
     cache_evictions = Atomic.make s.cache_evictions;
     served = Atomic.make s.served;
     sheds = Atomic.make s.sheds;
+    batch_served = Atomic.make s.batch_served;
+    batch_size_sum = Atomic.make s.batch_size_sum;
   }
 
 let bump (t : t) (cell : int Atomic.t) (n : int) =
@@ -191,6 +203,8 @@ let cache_misses (t : t) n = bump t t.cache_misses n
 let cache_evictions (t : t) n = bump t t.cache_evictions n
 let served (t : t) n = bump t t.served n
 let sheds (t : t) n = bump t t.sheds n
+let batch_served (t : t) n = bump t t.batch_served n
+let batch_size_sum (t : t) n = bump t t.batch_size_sum n
 
 let pp fmt (t : t) =
   let s = snapshot t in
@@ -199,12 +213,12 @@ let pp fmt (t : t) =
      transport: %d retries, %d drops, %d rejects; prime search: %d \
      candidates, %d sieved out, %d MR-tested; keypool: %d hits, %d misses, \
      %d refills, %d steals; instance cache: %d hits, %d misses, %d \
-     evictions; service: %d served, %d shed@]"
+     evictions; service: %d served, %d shed, %d batches (%d requests)@]"
     s.user_exp s.user_mult s.user_bytes s.server_exp s.server_mult
     s.server_bytes s.retries s.drops s.rejects s.prime_attempts
     s.sieve_rejects s.mr_calls s.pool_hits s.pool_misses s.pool_refills
     s.pool_steals s.cache_hits s.cache_misses s.cache_evictions s.served
-    s.sheds
+    s.sheds s.batch_served s.batch_size_sum
 
 (* ------------------------------------------------------------------ *)
 (* GC pressure                                                          *)

@@ -34,6 +34,8 @@ type snapshot = {
   cache_evictions : int;
   served : int;
   sheds : int;
+  batch_served : int;
+  batch_size_sum : int;
 }
 
 val create : unit -> t
@@ -88,6 +90,13 @@ val cache_evictions : t -> int -> unit
 val served : t -> int -> unit
 
 val sheds : t -> int -> unit
+
+(** Batch-serving counters: drained batches dispatched by worker domains
+    and the total requests those batches carried, so
+    [batch_size_sum / batch_served] is the mean drained-batch size. *)
+val batch_served : t -> int -> unit
+
+val batch_size_sum : t -> int -> unit
 
 val pp : Format.formatter -> t -> unit
 

@@ -128,6 +128,14 @@ let merge_into ~dst src =
   in
   bump ()
 
+(* A fresh histogram holding every source's samples: cell-wise atomic
+   sum via [merge_into] (per-shard service histograms into one fleet
+   aggregate). *)
+let merge srcs =
+  let dst = create () in
+  List.iter (fun src -> merge_into ~dst src) srcs;
+  dst
+
 let pp fmt t =
   Format.fprintf fmt
     "@[%d sample(s): mean %.6f s, p50 %.6f s, p95 %.6f s, p99 %.6f s, max \

@@ -44,6 +44,11 @@ val reset : t -> unit
     aggregate per-tenant histograms. *)
 val merge_into : dst:t -> t -> unit
 
+(** A fresh histogram holding the cell-wise sum of every source (the
+    sources are left unchanged); used to aggregate per-shard service
+    latency histograms into one distribution. *)
+val merge : t list -> t
+
 val pp : Format.formatter -> t -> unit
 
 (**/**)

@@ -84,6 +84,7 @@ type outcome = {
   duration_s : float;
   qps : float;           (* completed rounds per second *)
   round_latency : Histogram.t;
+  service_latency : Histogram.t; (* per-shard service histograms, merged *)
   sheds : int;           (* Shed outcomes observed by tenants *)
   retries : int;         (* re-attempts after shed or loss *)
   drops : int;           (* frames chaos destroyed *)
@@ -368,6 +369,7 @@ let run ?pool ?clock (service : Service.t) (config : config) : outcome =
     duration_s;
     qps = float_of_int rounds /. duration_s;
     round_latency;
+    service_latency = Histogram.merge (Service.shard_latencies service);
     sheds = counter (fun s -> s.Counters.sheds);
     retries = counter (fun s -> s.Counters.retries);
     drops = counter (fun s -> s.Counters.drops);

@@ -59,6 +59,10 @@ type outcome = {
   duration_s : float;
   qps : float;                 (** completed rounds per second *)
   round_latency : Histogram.t;
+  service_latency : Histogram.t;
+      (** submit-to-completion latency aggregated across the service's
+          per-shard histograms ({!Lbq_metrics.Histogram.merge} of
+          {!Service.shard_latencies}) *)
   sheds : int;                 (** Shed outcomes tenants observed *)
   retries : int;               (** re-attempts after shed or loss *)
   drops : int;                 (** frames chaos destroyed *)

@@ -69,9 +69,11 @@ type t = {
     (* parent of every per-request OT stream; [Drbg.split] reads only
        immutable state, so workers fork from it without the lock *)
   queue_depth : int;
+  batch : int;                     (* max requests drained per dispatch *)
   clock : unit -> float;
   metrics : Counters.t;
   latency : Histogram.t;
+  shard_latency : Histogram.t array;  (* per-shard slice of [latency] *)
   lock : Mutex.t;
   work : Condition.t;
   done_c : Condition.t;
@@ -82,10 +84,23 @@ type t = {
   mutable pool : Pool.t option;    (* None: pump mode (tests) *)
 }
 
+(* Until a shard's EWMA has its first sample, shed hints assume this
+   per-request service time so the hint still scales with the backlog
+   (a stage-2 respond is never cheaper than this). *)
+let unseeded_service_s = 1e-3
+
 let shard_count t = Array.length t.shards
 let queue_depth t = t.queue_depth
+let batch t = t.batch
 let server t = t.server
 let latency t = t.latency
+
+let shard_latency t d =
+  if d < 0 || d >= Array.length t.shard_latency then
+    invalid_arg "Service.shard_latency: shard out of range";
+  t.shard_latency.(d)
+
+let shard_latencies t = Array.to_list t.shard_latency
 
 let queue_length t d =
   if d < 0 || d >= Array.length t.queues then
@@ -118,43 +133,102 @@ let handle t ~tenant ~seq = function
    The byte-identity tests and the bench assertion compare against it. *)
 let respond_reference t ~tenant ~seq request = handle t ~tenant ~seq request
 
-(* Service one ticket on shard [d] (worker domain or pump): all crypto
-   outside the lock, then publish the reply and wake consumers. *)
-let complete t d tk =
-  let start_s = t.clock () in
-  let reply = handle t ~tenant:tk.tenant ~seq:tk.seq tk.request in
-  let now = t.clock () in
-  let service_s = now -. tk.submitted_s in
-  Mutex.lock t.lock;
-  tk.reply <- Some reply;
-  tk.latency_s <- service_s;
-  let own = now -. start_s in
-  t.ewma_s.(d) <-
-    (if t.ewma_s.(d) = 0. then own
-     else (0.875 *. t.ewma_s.(d)) +. (0.125 *. own));
-  Queue.push tk t.completed;
-  Condition.broadcast t.done_c;
-  Mutex.unlock t.lock;
-  Counters.served t.metrics 1;
-  Histogram.record_s t.latency service_s
+(* Pop up to [limit] tickets (FIFO) from [q].  Caller holds the lock. *)
+let take_up_to limit (q : ticket Queue.t) : ticket array =
+  let rec go acc i =
+    if i >= limit then List.rev acc
+    else
+      match Queue.take_opt q with
+      | None -> List.rev acc
+      | Some tk -> go (tk :: acc) (i + 1)
+  in
+  Array.of_list (go [] 0)
+
+(* Service one drained batch on shard [d] (worker domain or pump): all
+   crypto outside the lock, then publish the replies and wake consumers.
+
+   The PIR tickets in the batch fuse through the shard's batched
+   cached-schedule kernel ({!Server.pir_respond_shard_checked_batch} —
+   [submit] routes a PIR query to the shard it names, so every PIR
+   ticket on queue [d] addresses shard [d]); OT tickets keep their
+   per-(tenant, seq) DRBG forks and are answered individually.  Either
+   way each reply is byte-identical to [respond_reference] for its
+   (tenant, seq, request).
+
+   The shard's EWMA takes the batch's amortised per-request time — the
+   rate at which a backlog actually drains under batching, which is
+   what the shed hint predicts with it. *)
+let complete_batch t d (tks : ticket array) =
+  let k = Array.length tks in
+  if k = 0 then ()
+  else begin
+    let start_s = t.clock () in
+    let pir = ref [] in
+    Array.iteri
+      (fun i tk ->
+        match tk.request with
+        | Pir_query { n; g; _ } -> pir := (i, (n, g)) :: !pir
+        | Ot_query _ -> ())
+      tks;
+    let pir = Array.of_list (List.rev !pir) in
+    let pir_replies =
+      if Array.length pir = 0 then [||]
+      else
+        Server.pir_respond_shard_checked_batch t.server t.shards.(d)
+          (Array.map snd pir)
+    in
+    let lookup = Array.make k None in
+    Array.iteri (fun j (i, _) -> lookup.(i) <- Some pir_replies.(j)) pir;
+    let replies =
+      Array.mapi
+        (fun i tk ->
+          match lookup.(i) with
+          | Some r -> Pir_reply r
+          | None -> handle t ~tenant:tk.tenant ~seq:tk.seq tk.request)
+        tks
+    in
+    let now = t.clock () in
+    let own = (now -. start_s) /. float_of_int k in
+    Mutex.lock t.lock;
+    Array.iteri
+      (fun i tk ->
+        tk.reply <- Some replies.(i);
+        tk.latency_s <- now -. tk.submitted_s;
+        Queue.push tk t.completed)
+      tks;
+    t.ewma_s.(d) <-
+      (if t.ewma_s.(d) = 0. then own
+       else (0.875 *. t.ewma_s.(d)) +. (0.125 *. own));
+    Condition.broadcast t.done_c;
+    Mutex.unlock t.lock;
+    Counters.served t.metrics k;
+    Counters.batch_served t.metrics 1;
+    Counters.batch_size_sum t.metrics k;
+    Array.iter
+      (fun tk ->
+        Histogram.record_s t.latency tk.latency_s;
+        Histogram.record_s t.shard_latency.(d) tk.latency_s)
+      tks
+  end
 
 let rec worker_loop t d =
   Mutex.lock t.lock;
   while Queue.is_empty t.queues.(d) && not t.stop do
     Condition.wait t.work t.lock
   done;
-  match Queue.take_opt t.queues.(d) with
-  | None ->
+  let tks = take_up_to t.batch t.queues.(d) in
+  Mutex.unlock t.lock;
+  if Array.length tks = 0 then ()
     (* stop requested and this shard's backlog is drained *)
-    Mutex.unlock t.lock
-  | Some tk ->
-    Mutex.unlock t.lock;
-    complete t d tk;
+  else begin
+    complete_batch t d tks;
     worker_loop t d
+  end
 
-let create ?ot_seed ?metrics ?clock ?(queue_depth = 64) ?(spawn = true)
-    ~shards server =
+let create ?ot_seed ?metrics ?clock ?(queue_depth = 64) ?(batch = 1)
+    ?(spawn = true) ~shards server =
   if queue_depth < 1 then invalid_arg "Service.create: queue_depth < 1";
+  if batch < 1 then invalid_arg "Service.create: batch < 1";
   if shards < 1 || shards > 64 then
     invalid_arg "Service.create: shards must be in [1, 64]";
   let metrics =
@@ -172,9 +246,11 @@ let create ?ot_seed ?metrics ?clock ?(queue_depth = 64) ?(spawn = true)
       shards = Server.pir_shards server ~count:shards;
       ot_base = Drbg.create ~domain:"lbq-service-ot" ~seed ();
       queue_depth;
+      batch;
       clock;
       metrics;
       latency = Histogram.create ();
+      shard_latency = Array.init shards (fun _ -> Histogram.create ());
       lock = Mutex.create ();
       work = Condition.create ();
       done_c = Condition.create ();
@@ -215,10 +291,15 @@ let submit t ~tenant ~seq request =
   let backlog = Queue.length t.queues.(d) in
   if backlog >= t.queue_depth then begin
     (* High watermark: shed with a hint — long enough for the present
-       backlog to clear at the shard's smoothed service rate. *)
-    let retry_after_s =
-      Float.max 5e-4 (float_of_int backlog *. t.ewma_s.(d))
+       backlog to clear at the shard's smoothed service rate.  Before
+       the EWMA's first sample (start-up, or right after a drain) the
+       hint substitutes a conservative default per-request time, so it
+       still scales with the backlog instead of collapsing to the bare
+       floor. *)
+    let est_s =
+      if t.ewma_s.(d) > 0. then t.ewma_s.(d) else unseeded_service_s
     in
+    let retry_after_s = Float.max 5e-4 (float_of_int backlog *. est_s) in
     Mutex.unlock t.lock;
     Counters.sheds t.metrics 1;
     Shed { retry_after_s }
@@ -235,19 +316,20 @@ let submit t ~tenant ~seq request =
   end
 
 (* Pump mode: drain every shard queue inline on the calling domain
-   (deterministic single-threaded processing for the admission tests).
-   Returns the number of requests served. *)
+   (deterministic single-threaded processing for the admission tests),
+   in dispatches of up to [batch] — the same draining discipline as the
+   worker domains.  Returns the number of requests served. *)
 let pump t =
   let n = ref 0 in
   let rec drain d =
     Mutex.lock t.lock;
-    match Queue.take_opt t.queues.(d) with
-    | None -> Mutex.unlock t.lock
-    | Some tk ->
-      Mutex.unlock t.lock;
-      complete t d tk;
-      incr n;
+    let tks = take_up_to t.batch t.queues.(d) in
+    Mutex.unlock t.lock;
+    if Array.length tks > 0 then begin
+      complete_batch t d tks;
+      n := !n + Array.length tks;
       drain d
+    end
   in
   for d = 0 to Array.length t.queues - 1 do
     drain d
@@ -311,6 +393,9 @@ let shutdown t =
     match t.pool with None -> () | Some p -> Pool.shutdown p
   end
 
-let with_service ?ot_seed ?metrics ?clock ?queue_depth ?spawn ~shards server f =
-  let t = create ?ot_seed ?metrics ?clock ?queue_depth ?spawn ~shards server in
+let with_service ?ot_seed ?metrics ?clock ?queue_depth ?batch ?spawn ~shards
+    server f =
+  let t =
+    create ?ot_seed ?metrics ?clock ?queue_depth ?batch ?spawn ~shards server
+  in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

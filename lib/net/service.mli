@@ -46,29 +46,48 @@ type t
 
     [shards]: worker domains / database stripes (1–64; also bounded by
     the private cell count).  [queue_depth]: per-shard bounded-queue
-    high watermark (default 64).  [spawn:false] starts no domains —
-    requests queue until {!pump} serves them inline on the calling
-    domain (deterministic mode for the admission tests).  [ot_seed]
-    overrides the per-request blinding DRBG seed (default: the
-    deployment seed).  [clock] substitutes the latency clock (tests);
-    default [Unix.gettimeofday].  [metrics] is the aggregate sink for
-    [served]/[sheds] (default: the server's own counters). *)
+    high watermark (default 64).  [batch]: how many queued requests a
+    worker drains per dispatch (default 1 — sequential serving).  The
+    PIR requests of one drained batch share a single walk of the
+    shard's cached exponent schedule
+    ({!Lbq_core.Server.pir_respond_shard_checked_batch}); OT requests
+    keep their per-(tenant, seq) DRBG forks, so every reply stays
+    byte-identical to {!respond_reference} at any batch size.
+    [spawn:false] starts no domains — requests queue until {!pump}
+    serves them inline on the calling domain (deterministic mode for
+    the admission tests).  [ot_seed] overrides the per-request blinding
+    DRBG seed (default: the deployment seed).  [clock] substitutes the
+    latency clock (tests); default [Unix.gettimeofday].  [metrics] is
+    the aggregate sink for [served]/[sheds]/[batch_served] (default:
+    the server's own counters). *)
 val create :
   ?ot_seed:string -> ?metrics:Counters.t -> ?clock:(unit -> float) ->
-  ?queue_depth:int -> ?spawn:bool -> shards:int -> Server.t -> t
+  ?queue_depth:int -> ?batch:int -> ?spawn:bool -> shards:int -> Server.t -> t
 
 (** [create] + [f] + guaranteed {!shutdown}. *)
 val with_service :
   ?ot_seed:string -> ?metrics:Counters.t -> ?clock:(unit -> float) ->
-  ?queue_depth:int -> ?spawn:bool -> shards:int -> Server.t ->
+  ?queue_depth:int -> ?batch:int -> ?spawn:bool -> shards:int -> Server.t ->
   (t -> 'a) -> 'a
 
 val shard_count : t -> int
 val queue_depth : t -> int
+
+(** Max requests drained per worker dispatch (the [batch] of {!create}). *)
+val batch : t -> int
+
 val server : t -> Server.t
 
 (** Aggregate submit-to-completion latency across all requests. *)
 val latency : t -> Histogram.t
+
+(** One shard's slice of {!latency} (every sample lands in both).
+    Raises [Invalid_argument] on an out-of-range shard. *)
+val shard_latency : t -> int -> Histogram.t
+
+(** All per-shard histograms, in shard order — ready for
+    {!Lbq_metrics.Histogram.merge}. *)
+val shard_latencies : t -> Histogram.t list
 
 (** Current backlog of one shard's queue. *)
 val queue_length : t -> int -> int

@@ -69,6 +69,15 @@ module Server : sig
       remains the fallback for even/edge moduli.  Rejects [g] out of
       range and, when [max_n_bits] is given, oversized moduli. *)
   val respond : ?max_n_bits:int -> t -> n:Z.t -> g:Z.t -> Z.t
+
+  (** Answer k queries [(N, g)] through one walk of the cached schedule
+      ({!Lbq_bignum.Montgomery.powm_sched_batch}): responses and
+      per-query measured multiplications are identical to k sequential
+      {!respond} calls, but the schedule tape is traversed once per
+      window digit for the whole batch.  Even/edge moduli fall back to
+      the sequential Barrett path; validation mirrors {!respond} and
+      runs before any work. *)
+  val respond_batch : ?max_n_bits:int -> t -> (Z.t * Z.t) array -> Z.t array
 end
 
 module Client : sig

@@ -100,6 +100,16 @@ module type S = sig
      degenerate bases). *)
   val respond : server -> query -> response
 
+  (* Answer k queries in one amortised pass.  The contract is
+     byte-identity to the sequential baseline: [respond_batch t qs]
+     must produce exactly [Array.map (respond t) qs] — same responses,
+     same counter totals, same {!Malformed} on the first invalid query
+     — while fusing whatever per-query work the backend can share
+     (exponent-schedule walks, database scans, matrix panels).  An
+     empty batch returns [[||]].  Backends without a fused kernel use
+     {!respond_batch_sequential}. *)
+  val respond_batch : server -> query array -> response array
+
   (* ---- wire codecs ---- *)
 
   val query_encode : query -> string
@@ -113,6 +123,12 @@ module type S = sig
 end
 
 type backend = (module S)
+
+(* The documented [respond_batch] fallback for backends without a fused
+   kernel: k sequential responds, trivially byte-identical. *)
+let respond_batch_sequential ~(respond : 's -> 'q -> 'r) (t : 's)
+    (qs : 'q array) : 'r array =
+  Array.map (respond t) qs
 
 (* ------------------------------------------------------------------ *)
 (* Shared wire helpers (fixed-width big-endian, as in Lbq_core.Wire)    *)

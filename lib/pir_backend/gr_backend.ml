@@ -96,6 +96,22 @@ module Make (C : CONFIG) : B.S = struct
     in
     { pad = (Z.numbits q.n + 7) / 8; ge }
 
+  (* Fused batch: all k bases ride one walk of the server's cached
+     exponent schedule ({!Gr.Server.respond_batch} over the multi-powm
+     kernel).  Responses, validation and per-query counter bumps match
+     k sequential [respond]s exactly. *)
+  let respond_batch (t : server) (qs : query array) : response array =
+    let max_n_bits = Gr.Server.max_modulus_bits t.gr ~q_bits:C.q_bits in
+    let ges =
+      try
+        Gr.Server.respond_batch ~max_n_bits t.gr
+          (Array.map (fun q -> (q.n, q.g)) qs)
+      with Invalid_argument m -> B.malformed m
+    in
+    Array.mapi
+      (fun i ge -> { pad = (Z.numbits qs.(i).n + 7) / 8; ge })
+      ges
+
   (* ---- wire: the (N, g) pair with explicit lengths, as in
      [Wire.pir_query_encode]; the response is the answer padded to the
      modulus width it was computed under, length-prefixed so the decoder

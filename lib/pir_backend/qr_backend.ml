@@ -109,6 +109,28 @@ module Make (C : CONFIG) : B.S = struct
     in
     { el = q.el; planes }
 
+  (* Fused batch: one traversal of the database bits serves all k
+     queries ({!Qr_pir.Server.respond_batch}), preserving each query's
+     own multiplication order — answers and counters byte-identical to
+     k sequential [respond]s.  Validation mirrors [respond] and runs
+     for every query before any work. *)
+  let respond_batch (t : server) (qs : query array) : response array =
+    Array.iter
+      (fun q ->
+        if Array.length q.ys <> t.cols then B.malformed "qr query width";
+        if Z.leq q.n Z.one then B.malformed "qr modulus";
+        Array.iter
+          (fun y ->
+            if Z.sign y <= 0 || Z.geq y q.n then
+              B.malformed "qr element out of range")
+          q.ys)
+      qs;
+    let planes_arr =
+      try Qr_pir.Server.respond_batch t.qr (Array.map (fun q -> (q.n, q.ys)) qs)
+      with Invalid_argument m -> B.malformed m
+    in
+    Array.mapi (fun i planes -> { el = qs.(i).el; planes }) planes_arr
+
   (* ---- wire: fixed-width elements under an (el, count) header ---- *)
 
   let element ~el (z : Z.t) : string =

@@ -63,6 +63,13 @@ module Server : sig
   (** All bit-planes (the full matrix answer the baseline ships),
       modulo the query's [n]. *)
   val respond : t -> n:Z.t -> Z.t array -> Z.t array array
+
+  (** Answer k queries [(n, ys)] with one traversal of the database bits
+      (each bit read and branched on once, applied to all k per-query
+      accumulators).  Per-query multiplication order is preserved, so
+      answers and measured mults are identical to k sequential
+      {!respond} calls. *)
+  val respond_batch : t -> (Z.t * Z.t array) array -> Z.t array array array
 end
 
 (** One full block fetch: query, respond, decode. *)

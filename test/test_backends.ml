@@ -164,6 +164,87 @@ let test_max_payload (_ : Counters.t) =
     backends
 
 (* ------------------------------------------------------------------ *)
+(* Batched respond: byte-identity to sequential                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [respond_batch] must be observationally equal to mapping [respond]:
+   the same response bytes in the same order, the same server_mult and
+   server_bytes counter deltas, at every batch size — including the
+   empty batch, k = 1 (the passthrough), and a ragged split of a deeper
+   queue (7 + 7 + 2 over 16 queries, the shape a queue-draining worker
+   actually produces). *)
+let test_batch_identity (_ : Counters.t) =
+  let rows = 3 and cols = 4 and len = 3 in
+  let blocks = oracle_blocks ~rows ~cols ~len () in
+  let targets = query_plan ~rows ~cols ~count:16 in
+  List.iter
+    (fun (module M : B.S) ->
+      Fixture.with_metrics (fun metrics ->
+          let rand = rand_for ~name:(M.name ^ "-batch") ~rows ~cols ~len in
+          let server = M.encode ~metrics ~rand blocks in
+          let public = M.public server in
+          let pairs =
+            Array.of_list
+              (List.map
+                 (fun (row, col) -> M.query ~metrics ~rand ~public ~row ~col ())
+                 targets)
+          in
+          let queries = Array.map snd pairs in
+          let mults () = (Counters.snapshot metrics).Counters.server_mult in
+          let bytes () = (Counters.snapshot metrics).Counters.server_bytes in
+          let sequential k =
+            let m0 = mults () and b0 = bytes () in
+            let rs = Array.map (M.respond server) (Array.sub queries 0 k) in
+            Array.map M.response_encode rs, mults () - m0, bytes () - b0
+          in
+          let batched k =
+            let m0 = mults () and b0 = bytes () in
+            let rs = M.respond_batch server (Array.sub queries 0 k) in
+            Array.map M.response_encode rs, mults () - m0, bytes () - b0
+          in
+          List.iter
+            (fun k ->
+              let seq, sm, sb = sequential k in
+              let bat, bm, bb = batched k in
+              Alcotest.(check int)
+                (Printf.sprintf "%s k=%d batch length" M.name k)
+                k (Array.length bat);
+              Array.iteri
+                (fun i b ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s k=%d reply %d bytes" M.name k i)
+                    seq.(i) b)
+                bat;
+              Alcotest.(check int)
+                (Printf.sprintf "%s k=%d server_mult delta" M.name k) sm bm;
+              Alcotest.(check int)
+                (Printf.sprintf "%s k=%d server_bytes delta" M.name k) sb bb)
+            [ 0; 1; 2; 7; 16 ];
+          (* Ragged drain: a 16-deep queue in batches of at most 7. *)
+          let seq_all, _, _ = sequential 16 in
+          List.iter
+            (fun (off, k) ->
+              let rs = M.respond_batch server (Array.sub queries off k) in
+              Array.iteri
+                (fun i r ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s ragged chunk @%d reply %d" M.name off i)
+                    seq_all.(off + i) (M.response_encode r))
+                rs)
+            [ 0, 7; 7, 7; 14, 2 ];
+          (* Batched responses still decode to the oracle blocks. *)
+          let rs = M.respond_batch server queries in
+          Array.iteri
+            (fun i r ->
+              let row, col = List.nth targets i in
+              Alcotest.(check string)
+                (Printf.sprintf "%s batch decode %d" M.name i)
+                blocks.(row).(col)
+                (M.decode (fst pairs.(i)) r))
+            rs))
+    backends
+
+(* ------------------------------------------------------------------ *)
 (* Counter hygiene                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -255,6 +336,10 @@ let test_lwe_malformed_frames (_ : Counters.t) =
          database must be refused by respond, not answered. *)
       let narrow = M.query_decode (u32 1 ^ u64 123) in
       check_malformed "respond width" (fun () -> M.respond server narrow);
+      (* The batched path validates every query before any work: one bad
+         query poisons the whole batch, even behind an honest one. *)
+      check_malformed "batched respond width" (fun () ->
+          M.respond_batch server [| M.query_decode honest; narrow |]);
       (* Responses validate too (the client is not a bit bucket). *)
       let resp = M.respond server (M.query_decode honest) in
       let rw = M.response_encode resp in
@@ -382,6 +467,8 @@ let () =
   Alcotest.run "lbq_backends"
     [ ("differential",
        shape_tests @ [ Fixture.case "max-size payload" test_max_payload ]);
+      ("batch",
+       [ Fixture.case "batched respond = sequential" test_batch_identity ]);
       ("hygiene",
        [ Alcotest.test_case "fixture counter hygiene" `Quick
            test_fixture_hygiene ]);

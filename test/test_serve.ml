@@ -85,7 +85,13 @@ let test_histogram_quantiles () =
   Alcotest.(check int) "merged count" 100 (Histogram.count e);
   Alcotest.(check int) "merged p95" 98_304 (Histogram.quantile_ns e 0.95);
   Histogram.reset e;
-  Alcotest.(check int) "reset count" 0 (Histogram.count e)
+  Alcotest.(check int) "reset count" 0 (Histogram.count e);
+  (* list merge: cell-wise sum over any number of sources *)
+  let m = Histogram.merge [ h; h; Histogram.create () ] in
+  Alcotest.(check int) "merge list count" 200 (Histogram.count m);
+  Alcotest.(check int) "merge list p95" 98_304 (Histogram.quantile_ns m 0.95);
+  Alcotest.(check int) "merge of nothing is empty" 0
+    (Histogram.count (Histogram.merge []))
 
 (* ------------------------------------------------------------------ *)
 (* Fixtures                                                             *)
@@ -232,6 +238,29 @@ let test_admission_control () =
       | exception Invalid_argument _ -> ()
       | _ -> Alcotest.fail "out-of-range shard must raise")
 
+let test_unseeded_retry_hint () =
+  (* A shed before any request has completed finds the EWMA unseeded;
+     the hint must still scale with the backlog (a deeper queue hints a
+     longer wait), not collapse to a bare constant. *)
+  let hint_at depth =
+    Service.with_service ~queue_depth:depth ~spawn:false ~shards:1 core_server
+      (fun svc ->
+        for seq = 0 to depth - 1 do
+          match Service.submit svc ~tenant:0 ~seq (some_ot_query ()) with
+          | Service.Accepted _ -> ()
+          | Service.Shed _ -> Alcotest.fail "shed below watermark"
+        done;
+        match Service.submit svc ~tenant:0 ~seq:depth (some_ot_query ()) with
+        | Service.Shed { retry_after_s } -> retry_after_s
+        | Service.Accepted _ -> Alcotest.fail "submit past watermark accepted")
+  in
+  let h1 = hint_at 1 and h8 = hint_at 8 in
+  Alcotest.(check bool) "unseeded hint positive" true (h1 > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "hint scales with backlog (%g vs %g)" h1 h8)
+    true
+    (h8 > 6. *. h1)
+
 (* ------------------------------------------------------------------ *)
 (* Concurrent serving is byte-identical to the oracle                   *)
 (* ------------------------------------------------------------------ *)
@@ -304,6 +333,76 @@ let test_concurrent_matches_oracle () =
           (replies_equal expected.(0) (Service.await svc tk))
       | Service.Shed _ -> Alcotest.fail "unexpected shed")
 
+let test_batched_serving_matches_oracle () =
+  (* A batch-draining service (pump mode, so drains really happen in
+     full batches) must produce the same reply bytes as the sequential
+     oracle, and the batch counters must account for every request.
+     18 requests over 3 shards with batch 4 exercises ragged last
+     batches on every queue. *)
+  let shards = 3 in
+  let metrics = Counters.create () in
+  Service.with_service ~ot_seed:"svc-batch" ~metrics ~queue_depth:64 ~batch:4
+    ~spawn:false ~shards core_server (fun svc ->
+      Alcotest.(check int) "batch accessor" 4 (Service.batch svc);
+      let rand = Drbg.rand (Drbg.create ~seed:"svc-batch-queries" ()) in
+      let cells = Params.private_cells params in
+      let requests =
+        Array.init 18 (fun k ->
+            let tenant = k mod 6 and seq = k / 6 in
+            let request =
+              if k mod 2 = 0 then some_ot_query ()
+              else begin
+                let index = k mod cells in
+                let _, (n, g) =
+                  Gr.Client.query ~plan:public.Server.plan ~index
+                    ~q_bits:params.Params.q_bits rand
+                in
+                Service.Pir_query
+                  { shard = Server.shard_of_cell ~shards index; n; g }
+              end
+            in
+            (tenant, seq, request))
+      in
+      let expected =
+        Array.map
+          (fun (tenant, seq, request) ->
+            Service.respond_reference svc ~tenant ~seq request)
+          requests
+      in
+      let tickets =
+        Array.map
+          (fun (tenant, seq, request) ->
+            match Service.submit svc ~tenant ~seq request with
+            | Service.Accepted tk -> tk
+            | Service.Shed _ -> Alcotest.fail "unexpected shed")
+          requests
+      in
+      Alcotest.(check int) "pump serves all" 18 (Service.pump svc);
+      Array.iteri
+        (fun k tk ->
+          Alcotest.(check bool)
+            (Printf.sprintf "batched reply %d byte-identical to oracle" k)
+            true
+            (replies_equal expected.(k) (Service.await svc tk)))
+        tickets;
+      (* counters: every request is in exactly one drained batch, and
+         with 18 requests over queues of depth <= 18 and batch 4, at
+         least one dispatch drained a full batch and fewer dispatches
+         ran than requests *)
+      let s = Counters.snapshot metrics in
+      Alcotest.(check int) "batch_size_sum = served" 18
+        s.Counters.batch_size_sum;
+      Alcotest.(check bool) "batching happened" true
+        (s.Counters.batch_served > 0 && s.Counters.batch_served < 18);
+      (* per-shard histograms partition the aggregate *)
+      let per_shard =
+        List.fold_left ( + ) 0
+          (List.map Histogram.count (Service.shard_latencies svc))
+      in
+      Alcotest.(check int) "shard latency partition" 18 per_shard;
+      Alcotest.(check int) "merged shard latency = aggregate" 18
+        (Histogram.count (Histogram.merge (Service.shard_latencies svc))))
+
 (* ------------------------------------------------------------------ *)
 (* Fleet: concurrent rounds match the sequential reference              *)
 (* ------------------------------------------------------------------ *)
@@ -313,9 +412,9 @@ let fleet_config =
     Fleet.tenants = 4; stop = Fleet.Rounds 2; record = true;
     seed = "fleet-identity" }
 
-let run_fleet ~spawn ~shards =
-  Service.with_service ~ot_seed:"fleet-svc" ~queue_depth:64 ~spawn ~shards
-    core_server (fun svc -> Fleet.run svc fleet_config)
+let run_fleet ?(batch = 1) ~spawn ~shards () =
+  Service.with_service ~ot_seed:"fleet-svc" ~queue_depth:64 ~batch ~spawn
+    ~shards core_server (fun svc -> Fleet.run svc fleet_config)
 
 let entries_equal (a : Fleet.entry) (b : Fleet.entry) =
   a.Fleet.idq = b.Fleet.idq
@@ -328,8 +427,8 @@ let test_fleet_concurrent_matches_sequential () =
      (single-threaded, deterministic order) and the 3-domain service
      must produce identical transcripts — every credential, every raw
      PIR group element, every decode. *)
-  let reference = run_fleet ~spawn:false ~shards:3 in
-  let concurrent = run_fleet ~spawn:true ~shards:3 in
+  let reference = run_fleet ~spawn:false ~shards:3 () in
+  let concurrent = run_fleet ~spawn:true ~shards:3 () in
   Alcotest.(check int) "rounds (reference)" 8 reference.Fleet.rounds;
   Alcotest.(check int) "rounds (concurrent)" 8 concurrent.Fleet.rounds;
   Alcotest.(check int) "no failures" 0
@@ -360,6 +459,31 @@ let test_fleet_concurrent_matches_sequential () =
          in
          Alcotest.(check int) "POI count" (List.length real) e.Fleet.pois))
     concurrent.Fleet.transcripts
+
+let test_fleet_batched_matches_sequential () =
+  (* Batch draining is invisible to tenants: the same fleet against a
+     batch-5 concurrent service produces transcripts byte-identical to
+     the batch-1 pump-mode reference, and the aggregated per-shard
+     service histogram saw every exchange (2 per round, no chaos). *)
+  let reference = run_fleet ~spawn:false ~shards:3 () in
+  let batched = run_fleet ~batch:5 ~spawn:true ~shards:3 () in
+  Alcotest.(check int) "rounds (batched)" 8 batched.Fleet.rounds;
+  Alcotest.(check int) "no failures" 0 batched.Fleet.failed;
+  Array.iteri
+    (fun tenant ref_log ->
+      let bat_log = batched.Fleet.transcripts.(tenant) in
+      Alcotest.(check int)
+        (Printf.sprintf "tenant %d round count" tenant)
+        (List.length ref_log) (List.length bat_log);
+      List.iteri
+        (fun round (r, c) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tenant %d round %d byte-identical" tenant round)
+            true (entries_equal r c))
+        (List.combine ref_log bat_log))
+    reference.Fleet.transcripts;
+  Alcotest.(check int) "service histogram saw every exchange" 16
+    (Histogram.count batched.Fleet.service_latency)
 
 let test_fleet_under_chaos () =
   (* Packet loss composes: with per-tenant chaos at a heavy fault rate,
@@ -399,12 +523,18 @@ let () =
            test_shard_decode_equivalence ]);
       ("admission",
        [ Alcotest.test_case "watermark sheds, pump drains, re-accepts" `Quick
-           test_admission_control ]);
+           test_admission_control;
+         Alcotest.test_case "unseeded retry hint scales with backlog" `Quick
+           test_unseeded_retry_hint ]);
       ("identity",
        [ Alcotest.test_case "concurrent replies = oracle bytes" `Quick
            test_concurrent_matches_oracle;
+         Alcotest.test_case "batched serving = oracle bytes" `Quick
+           test_batched_serving_matches_oracle;
          Alcotest.test_case "fleet concurrent = sequential reference" `Quick
-           test_fleet_concurrent_matches_sequential ]);
+           test_fleet_concurrent_matches_sequential;
+         Alcotest.test_case "fleet batched = sequential reference" `Quick
+           test_fleet_batched_matches_sequential ]);
       ("chaos",
        [ Alcotest.test_case "rounds complete under packet loss" `Quick
            test_fleet_under_chaos ]) ]
