@@ -16,8 +16,9 @@ test-fast:
 	dune build @backends
 
 # Tiny-parameter smoke of every JSON-emitting bench suite
-# (powm/faults/pir/ot/keypool/backends/batch/serve): same code paths and
-# assertions as the full suites, toy sizes, BENCH_*.quick.json artifacts.
+# (powm/faults/pir/ot/keypool/backends/batch/serve/update): same code
+# paths and assertions as the full suites, toy sizes,
+# BENCH_*.quick.json artifacts.
 bench-quick:
 	dune exec bench/main.exe -- quick 1
 
@@ -26,9 +27,11 @@ bench-quick:
 # gates on the bench summaries — the limb-engine floor (powm speedup +
 # allocation budget, from BENCH_powm.quick.json), the serving-layer
 # floor (multi-domain q/s >= single-domain q/s, from
-# BENCH_serve.quick.json), and the batching floor (batched respond >=
+# BENCH_serve.quick.json), the batching floor (batched respond >=
 # sequential q/s at some k >= 4 on every backend, from
-# BENCH_batch.quick.json).
+# BENCH_batch.quick.json), and the streaming-update floor (incremental
+# CRT fix-up >= 5x a full rebuild after the byte-identity gate, from
+# BENCH_update.quick.json).
 check:
 	dune build @all
 	dune runtest
@@ -36,6 +39,7 @@ check:
 	dune exec bench/main.exe -- powm-guard
 	dune exec bench/main.exe -- serve-guard
 	dune exec bench/main.exe -- batch-guard
+	dune exec bench/main.exe -- update-guard
 
 # Benchmarks run under the release profile (flambda-style optimisation,
 # no assertions stripped that matter here) so timings reflect deployment:
@@ -53,6 +57,7 @@ bench:
 	dune exec --profile release bench/main.exe -- backends 5
 	dune exec --profile release bench/main.exe -- batch 5
 	dune exec --profile release bench/main.exe -- serve 6
+	dune exec --profile release bench/main.exe -- update 3
 
 clean:
 	dune clean

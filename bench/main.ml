@@ -50,6 +50,15 @@
      serve-guard     make-check gate: asserts BENCH_serve.quick.json's
                      best multi-domain q/s >= the best single-domain
                      q/s (sharding + parallelism must not lose)
+     update          Streaming updates: incremental CRT fix-up
+                     (retained product tree + schedule refresh) vs full
+                     rebuild, with byte-identity gates against
+                     fresh-encode oracles (gr core and every backend
+                     with the update capability) before any timing;
+                     >= 10x asserted at the default grids; emits
+                     BENCH_update.json
+     update-guard    make-check gate: asserts BENCH_update.quick.json's
+                     min incremental speedup >= 5x
      quick           Tiny-parameter smoke of every JSON-emitting suite
                      (faults/pir/ot/keypool/backends); same code paths,
                      toy sizes, BENCH_*.quick.json artifacts (make check)
@@ -2049,6 +2058,270 @@ let batch_guard ?(path = "BENCH_batch.quick.json") () =
   if not (ok_worst && ok_k8) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* update: incremental CRT re-encode vs full rebuild                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The streaming-update pipeline head-to-head with the rebuild it
+   replaces, at the CRT core and across the backend arena.
+
+   Byte-identity gates run before any timing:
+   - Gr core: after a burst of single-block updates through the
+     retained product tree, the server's respond must equal a fresh
+     server CRT-encoded over the updated records, on the same
+     phi-hiding queries.
+   - every backend implementing [update]: an updated instance must be
+     wire-identical (query bytes, response bytes, decoded block) to a
+     fresh encode over the updated block grid under the same encode
+     randomness.
+
+   Then the costs: one incremental [Gr.Server.update_block]
+   (root-to-leaf tree fix-up + cached-schedule refresh) vs one full
+   [Gr.Server.create] (full product-tree build with its Bezout
+   inversions, solve, recode), plus per-backend in-place patch vs
+   re-encode.  The JSON summary's "min_speedup" is the worst gr-core
+   rebuild/update ratio across grids; the full bench demands
+   [speedup_floor] (default 10x) and [update_guard] (make check) gates
+   the quick artifact at 5x.  Emits BENCH_update.json. *)
+let update_bench ?(out = "BENCH_update.json")
+    ?(grids = [ (8, 8, 512); (15, 15, 1024) ]) ?(q_bits = 64)
+    ?(speedup_floor = 10.) trials =
+  let module Pb = Lbq_pir_backend.Backend_intf in
+  let module Registry = Lbq_pir_backend.Registry in
+  let module Instance = Registry.Instance in
+  Format.printf
+    "=== update: incremental CRT fix-up vs full rebuild (%d trials) ===@.@."
+    trials;
+  let gc0 = Counters.gc_words () in
+  let reps = max 3 trials in
+  let rows_out = ref [] in
+  let min_speedup = ref infinity in
+  Format.printf "  %-16s | %-12s | %-12s | %-8s | %s@." "grid" "rebuild (s)"
+    "update (s)" "speedup" "backend patch vs re-encode";
+  Format.printf "  %s@." (String.make 100 '-');
+  List.iter
+    (fun (rows, cols, block_bits) ->
+      let count = rows * cols in
+      let drbg =
+        Drbg.create ~seed:(Printf.sprintf "bench-update-%d" count) ()
+      in
+      let rand = Drbg.rand drbg in
+      let plan = Gr.make_plan ~count ~block_bits () in
+      let record i =
+        Z.erem (Z.random_bits ~bits:block_bits rand) (Gr.plan_slot plan i).Gr.pi
+      in
+      let records = Array.init count record in
+      let server = Gr.Server.create plan records in
+      (* Identity gate: a burst of tree fix-ups, then fresh-encode
+         oracle agreement on shared queries — all before any timing. *)
+      let burst = 2 * reps in
+      for _ = 1 to burst do
+        let idx = Drbg.int drbg count in
+        let b = record idx in
+        records.(idx) <- b;
+        Gr.Server.update_block server ~idx ~block:b
+      done;
+      assert (Gr.Server.epoch server = burst);
+      let fresh = Gr.Server.create plan records in
+      let qdrbg =
+        Drbg.create ~seed:(Printf.sprintf "bench-update-gate-%d" count) ()
+      in
+      for _ = 1 to 3 do
+        let index = Drbg.int qdrbg count in
+        let _st, (n, g) =
+          Gr.Client.query ~plan ~index ~q_bits (Drbg.rand qdrbg)
+        in
+        assert (
+          Z.equal (Gr.Server.respond server ~n ~g)
+            (Gr.Server.respond fresh ~n ~g))
+      done;
+      (* Timing: full rebuild vs one localized fix-up (min of trials). *)
+      let rebuild_s = ref infinity in
+      for _ = 1 to max 2 (reps / 2) do
+        let _, s = time (fun () -> Gr.Server.create plan records) in
+        rebuild_s := Float.min !rebuild_s s
+      done;
+      let update_s = ref infinity in
+      for _ = 1 to reps do
+        let idx = Drbg.int drbg count in
+        let b = record idx in
+        records.(idx) <- b;
+        let (), s =
+          time (fun () -> Gr.Server.update_block server ~idx ~block:b)
+        in
+        update_s := Float.min !update_s s
+      done;
+      let speedup = !rebuild_s /. !update_s in
+      min_speedup := Float.min !min_speedup speedup;
+      (* Backend arena: wire-identity gate, then patch vs re-encode for
+         every backend with the update capability.  Encode randomness is
+         content-independent in all registered backends, so re-seeding
+         the same encode DRBG gives the fresh-encode oracle identical
+         parameters. *)
+      let len = max 16 (block_bits / 8) in
+      let blocks =
+        Array.init rows (fun r ->
+            Array.init cols (fun c ->
+                String.init len (fun k ->
+                    Char.chr (((r * 131) + (c * 29) + (k * 7)) land 0xff))))
+      in
+      let backend_cells =
+        List.filter_map
+          (fun backend ->
+            let module M = (val backend : Pb.S) in
+            let enc_seed =
+              Printf.sprintf "bench-update-enc-%s-%d" M.name count
+            in
+            let encode () =
+              Instance.create
+                ~rand:(Drbg.rand (Drbg.create ~seed:enc_seed ()))
+                backend blocks
+            in
+            let inst = encode () in
+            if not (Instance.can_update inst) then None
+            else begin
+              let patch_s = ref infinity in
+              for i = 1 to reps do
+                let r = Drbg.int drbg rows and c = Drbg.int drbg cols in
+                let b =
+                  String.init len (fun k ->
+                      Char.chr (((i * 37) + (k * 11) + r + c) land 0xff))
+                in
+                blocks.(r).(c) <- b;
+                let ok, s =
+                  time (fun () -> Instance.update inst ~row:r ~col:c ~block:b)
+                in
+                assert ok;
+                patch_s := Float.min !patch_s s
+              done;
+              let oracle = encode () in
+              for i = 1 to 2 do
+                let r = Drbg.int drbg rows and c = Drbg.int drbg cols in
+                let fetch inst' =
+                  Instance.fetch
+                    ~rand:
+                      (Drbg.rand
+                         (Drbg.create
+                            ~seed:
+                              (Printf.sprintf "bench-update-q-%s-%d-%d" M.name
+                                 count i)
+                            ()))
+                    ~row:r ~col:c inst'
+                in
+                let a = fetch inst and b = fetch oracle in
+                assert (
+                  String.equal a.Instance.query_wire b.Instance.query_wire);
+                assert (
+                  String.equal a.Instance.response_wire
+                    b.Instance.response_wire);
+                assert (String.equal a.Instance.block blocks.(r).(c));
+                assert (String.equal b.Instance.block blocks.(r).(c))
+              done;
+              let reencode_s = ref infinity in
+              for _ = 1 to max 2 (reps / 2) do
+                let _, s = time (fun () -> encode ()) in
+                reencode_s := Float.min !reencode_s s
+              done;
+              Some (M.name, !patch_s, !reencode_s)
+            end)
+          (Registry.all ())
+      in
+      Format.printf "  %3dx%-3d %5db | %12.6f | %12.6f | %7.1fx | %s@." rows
+        cols block_bits !rebuild_s !update_s speedup
+        (String.concat ", "
+           (List.map
+              (fun (n, p, r) -> Printf.sprintf "%s %.0fx" n (r /. p))
+              backend_cells));
+      rows_out :=
+        J.Obj
+          [ "rows", J.Int rows; "cols", J.Int cols;
+            "block_bits", J.Int block_bits;
+            "rebuild_s", J.Float !rebuild_s; "update_s", J.Float !update_s;
+            "speedup", J.Float speedup;
+            ( "backends",
+              J.List
+                (List.map
+                   (fun (n, p, r) ->
+                     J.Obj
+                       [ "backend", J.Str n; "patch_s", J.Float p;
+                         "reencode_s", J.Float r;
+                         "speedup", J.Float (r /. p) ])
+                   backend_cells) ) ]
+        :: !rows_out)
+    grids;
+  J.write ~path:out
+    (J.Obj
+       ([ "grids", J.List (List.rev !rows_out);
+          "min_speedup", J.Float !min_speedup;
+          "speedup_floor", J.Float speedup_floor ]
+        @ J.gc_fields (Counters.gc_delta ~since:gc0)));
+  let ok = !min_speedup >= speedup_floor in
+  Format.printf
+    "@.  Wrote %s.  Identity gates passed; worst incremental speedup %.1fx \
+     (floor %.1fx) %s@.@."
+    out !min_speedup speedup_floor
+    (if ok then "OK" else "FAIL");
+  if not ok then exit 1
+
+(* update-guard: re-reads the "min_speedup" summary of the quick
+   artifact (written by `quick` moments earlier in `make check`, after
+   its byte-identity gates) and fails the build if the incremental
+   fix-up has stopped beating the full rebuild by at least 5x even at
+   quick's toy grids.  The full BENCH_update.json targets >= 10x at the
+   default bench grid. *)
+let update_guard ?(path = "BENCH_update.quick.json") () =
+  let floor = 5. in
+  let s =
+    match open_in_bin path with
+    | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    | exception Sys_error _ ->
+      Format.eprintf "update-guard: %s missing (run `make bench-quick`)@."
+        path;
+      exit 2
+  in
+  let float_after key =
+    let key = "\"" ^ key ^ "\"" in
+    let kl = String.length key and sl = String.length s in
+    let rec find i =
+      if i + kl > sl then None
+      else if String.sub s i kl = key then begin
+        let j = ref (i + kl) in
+        while
+          !j < sl && (match s.[!j] with ' ' | ':' -> true | _ -> false)
+        do
+          incr j
+        done;
+        let st = !j in
+        while
+          !j < sl
+          && (match s.[!j] with
+             | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        float_of_string_opt (String.sub s st (!j - st))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let v =
+    match float_after "min_speedup" with
+    | Some v -> v
+    | None ->
+      Format.eprintf "update-guard: %s has no min_speedup field@." path;
+      exit 2
+  in
+  let ok = v >= floor in
+  Format.printf
+    "  update-guard: min incremental speedup %.2fx (floor %.1fx) %s@." v floor
+    (if ok then "OK" else "FAIL");
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* quick: tiny-parameter smoke of every JSON-emitting suite             *)
 (* ------------------------------------------------------------------ *)
 
@@ -2068,6 +2341,8 @@ let quick trials =
   backends_bench ~out:"BENCH_backends.quick.json" ~grids:[ (2, 3, 8) ] trials;
   batch_bench ~out:"BENCH_batch.quick.json" ~rows:4 ~cols:4 ~len:16
     ~lwe_grid:(4, 256, 32) ~batch_sizes:[ 1; 4; 8 ] (max 2 trials);
+  update_bench ~out:"BENCH_update.quick.json" ~grids:[ (6, 6, 512) ]
+    ~q_bits:48 ~speedup_floor:5. (max 2 trials);
   serve ~out:"BENCH_serve.quick.json" ~clients:[ 1; 4 ] ~domains:[ 1; 4 ]
     ~queue_depths:[ 64 ] ~loss_ps:[ 0.2 ] (max 3 trials)
 
@@ -2155,6 +2430,8 @@ let () =
   | "backends" -> backends_bench trials
   | "batch" -> batch_bench trials
   | "batch-guard" -> batch_guard ()
+  | "update" -> update_bench trials
+  | "update-guard" -> update_guard ()
   | "quick" -> quick trials
   | "micro" -> micro trials
   | "all" ->
@@ -2177,10 +2454,11 @@ let () =
     keypool (max 2 (trials / 2));
     backends_bench (max 2 (trials / 2));
     batch_bench (max 2 (trials / 2));
+    update_bench (max 2 (trials / 2));
     serve (max 4 (trials / 2));
     micro trials
   | other ->
     Format.eprintf
-      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, powm, powm-guard, pir, ot, keypool, backends, batch, batch-guard, quick, micro, all)@."
+      "unknown command %S (try table1..table4, ablate-grid, ablate-block, ablate-modsize, ablate-mulengine, ablate-reuse, comms, faults, powm, powm-guard, pir, ot, keypool, backends, batch, batch-guard, update, update-guard, quick, micro, all)@."
       other;
     exit 2

@@ -51,11 +51,11 @@ let prewarm_arg =
    deployment's plan, hand it to every round, and dump the pool counters
    when done.  Capacity 2 with watermark 1 keeps one spare instance per
    cell warming in the background while one is ready to take. *)
-let with_keypool ~prewarm ~seed ~(params : Params.t) server f =
+let with_keypool ?metrics ~prewarm ~seed ~(params : Params.t) server f =
   if not prewarm then f None
   else begin
     let plan = (Server.public_info server).Server.plan in
-    Keypool.with_pool
+    Keypool.with_pool ?metrics
       ~config:{ Keypool.capacity = 2; low_watermark = 1 }
       ~domains:2 ~seed:(seed ^ "-keypool") ~plan
       ~q_bits:params.Params.q_bits
@@ -197,12 +197,13 @@ module Counters = Lbq_metrics.Counters
    across --domains worker domains and sheds submits past --queue-depth
    with a retry-after hint the fleet's retry policy honours. *)
 let serve preset seed db prewarm clients domains duration queue_depth batch
-    loss reuse =
+    loss reuse churn =
   if clients <= 0 then `Error (false, "--clients must be positive")
   else if duration <= 0. then `Error (false, "--duration must be positive")
   else if queue_depth <= 0 then `Error (false, "--queue-depth must be positive")
   else if batch <= 0 then `Error (false, "--batch must be positive")
   else if loss < 0. || loss >= 1. then `Error (false, "--loss must be in [0, 1)")
+  else if churn < 0 then `Error (false, "--churn must be non-negative")
   else begin
     let params = params_of_preset ~seed:(seed ^ "-params") preset in
     let max_domains = min 64 (Params.private_cells params) in
@@ -214,8 +215,10 @@ let serve preset seed db prewarm clients domains duration queue_depth batch
     else begin
       let area, pois = build_city ?db ~seed params in
       Format.printf "Initialising server over %d POIs ...@." (List.length pois);
-      let server = Server.create params ~area pois in
-      with_keypool ~prewarm ~seed ~params server (fun pool ->
+      let svc_metrics = Counters.create () in
+      let server = Server.create ~metrics:svc_metrics params ~area pois in
+      with_keypool ~metrics:svc_metrics ~prewarm ~seed ~params server
+        (fun pool ->
           let chaos =
             if loss > 0. then Some (Chaos.drop_corrupt ~p:loss) else None
           in
@@ -227,11 +230,37 @@ let serve preset seed db prewarm clients domains duration queue_depth batch
                Printf.sprintf ", %.0f%% frame loss" (100. *. loss)
              else "")
             duration;
-          let svc_metrics = Counters.create () in
           let outcome =
             Service.with_service ~ot_seed:(seed ^ "-svc")
               ~metrics:svc_metrics ~queue_depth ~batch
               ~shards:domains server (fun svc ->
+                (* --churn: replay K deterministic cell-replacement
+                   updates through the service's epoch pipeline, then
+                   wait for every batch to land so the fleet opens on a
+                   settled database. *)
+                if churn > 0 then begin
+                  let updates =
+                    Synth.churn ~seed:(seed ^ "-churn")
+                      ~partition:(Server.partition server) ~steps:churn ()
+                  in
+                  List.iter
+                    (fun (u : Poi_file.update) ->
+                      ignore
+                        (Service.submit_update svc
+                           [ (u.Poi_file.cell, u.Poi_file.pois) ]))
+                    updates;
+                  while Service.applied_epoch svc < Service.epoch svc do
+                    Unix.sleepf 0.001
+                  done;
+                  (* re-pin a prewarmed pool: instances stocked under
+                     epoch 0 are evicted on take, never silently served *)
+                  Option.iter
+                    (fun pool -> Keypool.set_epoch pool (Service.epoch svc))
+                    pool;
+                  Format.printf
+                    "Applied %d churn update(s); database at epoch %d.@.@."
+                    churn (Service.epoch svc)
+                end;
                 Fleet.run ?pool svc
                   { Fleet.default_config with
                     Fleet.tenants = clients;
@@ -268,6 +297,12 @@ let serve preset seed db prewarm clients domains duration queue_depth batch
               sc.Counters.batch_size_sum sc.Counters.batch_served
               (float_of_int sc.Counters.batch_size_sum
                /. float_of_int sc.Counters.batch_served);
+          if sc.Counters.epoch_bumps > 0 || sc.Counters.update_blocks > 0 then
+            Format.printf
+              "updates: %d cell(s) applied across %d epoch bump(s), %d block \
+               write(s), %d stale pool eviction(s)@."
+              sc.Counters.update_applied sc.Counters.epoch_bumps
+              sc.Counters.update_blocks sc.Counters.pool_stale_evictions;
           Format.printf "%a@." Histogram.pp h;
           `Ok ())
     end
@@ -311,13 +346,19 @@ let serve_cmd =
                  rounds (paper \xc2\xa7VI: faster, but lets the server link \
                  those rounds).")
   in
+  let churn =
+    Arg.(value & opt int 0 & info [ "churn" ] ~docv:"K"
+           ~doc:"Replay K deterministic cell-replacement updates through \
+                 the streaming-update pipeline (incremental CRT fix-ups, \
+                 one epoch bump each) before opening to clients.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Boot the multi-tenant service layer and drive it with N \
              simulated clients; dump per-tenant and aggregate stats at exit.")
     Term.(ret (const serve $ preset_arg $ seed_arg $ db_arg $ prewarm_arg
                $ clients $ domains $ duration $ queue_depth $ batch $ loss
-               $ reuse))
+               $ reuse $ churn))
 
 (* ------------------------------------------------------------------ *)
 (* backends                                                             *)

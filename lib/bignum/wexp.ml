@@ -98,6 +98,13 @@ let recode ?width (e : Nat.t) : t =
     { width = w; first; max_odd = !max_odd; ops = Array.sub ops 0 !nops; ebits = nb }
   end
 
+(* Recode a NEW exponent under an existing schedule's window width: the
+   incremental-update path refreshes the cached database schedule after
+   a CRT fix-up, and pinning the width keeps the replay-cost profile
+   stable across epochs (a near-boundary bit-length change would
+   otherwise flip the width and shift predicted costs mid-run). *)
+let refresh (old : t) (e : Nat.t) : t = recode ~width:old.width e
+
 (* Modular multiplications an engine performs replaying this schedule,
    odd-powers table included: when any multiplier above 1 occurs the
    table costs one squaring (base^2) plus (max_odd - 1)/2 products, and

@@ -24,6 +24,11 @@ val width_for : int -> int
     default is {!width_for} of the exponent's bit length. *)
 val recode : ?width:int -> Nat.t -> t
 
+(** [refresh old e] recodes a new exponent with [old]'s window width —
+    the schedule-refresh path after an incremental database update,
+    keeping the replay-cost profile stable across epochs. *)
+val refresh : t -> Nat.t -> t
+
 (** Exact modular multiplications an engine performs executing the
     schedule, including building the odd-powers table (the updated
     Table II closed form asserts against this). *)

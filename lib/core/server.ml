@@ -308,6 +308,52 @@ let pir_respond_shard_checked_batch t (shard : Gr.Server.t)
   Array.iteri (fun j i -> out.(i) <- Ok answers.(j)) valid;
   out
 
+(* ------------------------------------------------------------------ *)
+(* Streaming POI updates                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Replace private cell [idq]'s real POIs and re-derive everything that
+   cell backs: the partition bucket (re-padded to rmax), the ciphertext
+   (re-encrypted under the SAME cell key, so the published OT table and
+   every issued credential stay valid — an update rewrites content, not
+   credentials), and the CRT database integer — incrementally, through
+   the retained product tree ({!Gr.Server.update_block}), never a full
+   rebuild.  Bumps the main PIR server's epoch. *)
+let update_cell t ~idq (pois : Poi.t list) : unit =
+  Grid.set_cell_pois t.partition idq pois;
+  let block = Poi.encode_block (Grid.cell_pois t.partition idq) in
+  t.ciphertexts.(idq) <- Cellcrypt.encrypt ~cell_key:t.keys.(idq) block;
+  Gr.Server.update_block t.pir ~idx:idq
+    ~block:(Z.of_bytes_be t.ciphertexts.(idq));
+  Counters.update_blocks t.metrics 1
+
+(* Current update generation of the stage-2 database (the main PIR
+   server's epoch; shard epochs advance with their own updates). *)
+let pir_epoch t = Gr.Server.epoch t.pir
+
+(* Current encrypted block of one cell (immutable string, so holding the
+   result is a stable snapshot across later updates) — what the serving
+   layer captures when staging a shard fix-up. *)
+let cell_ciphertext t idq =
+  if idq < 0 || idq >= Array.length t.ciphertexts then
+    invalid_arg "Server.cell_ciphertext: idq out of range";
+  t.ciphertexts.(idq)
+
+(* Propagate cell [idq]'s current ciphertext into the shard that serves
+   it: under [pir_shards ~count] striping, cell i lives in sub-server
+   [i mod count] at slot position [i / count] (its rank among the
+   shard's ascending indices).  Returns the shard index touched so the
+   serving layer can fence that shard's in-flight plans. *)
+let update_shards t (shards : Gr.Server.t array) ~idq : int =
+  let count = Array.length shards in
+  if count = 0 then invalid_arg "Server.update_shards: no shards";
+  if idq < 0 || idq >= Array.length t.ciphertexts then
+    invalid_arg "Server.update_shards: idq out of range";
+  let d = shard_of_cell ~shards:count idq in
+  Gr.Server.update_block shards.(d) ~idx:(idq / count)
+    ~block:(Z.of_bytes_be t.ciphertexts.(idq));
+  d
+
 (* Introspection used by tests and examples; a real deployment would keep
    these private, which is why they sit behind explicit "trusted" names. *)
 let trusted_cell_key t idq = t.keys.(idq)

@@ -120,6 +120,32 @@ val pir_respond_shard_checked :
 val pir_respond_shard_checked_batch :
   t -> Gr.Server.t -> (Z.t * Z.t) array -> (Z.t, rejection) result array
 
+(** {2 Streaming POI updates}
+
+    A single-cell change is a localized fix-up, never a rebuild: the
+    partition bucket is re-padded, the block re-encrypted under the SAME
+    cell key (the published OT table and issued credentials stay valid),
+    and the CRT integer repaired through the retained product tree. *)
+
+(** Replace cell [idq]'s real POIs.  Raises [Invalid_argument] on an
+    out-of-range cell, a dummy or out-of-cell record, or rmax
+    overflow.  Bumps the main PIR server's epoch. *)
+val update_cell : t -> idq:int -> Poi.t list -> unit
+
+(** Update generation of the stage-2 database ({!Gr.Server.epoch} of
+    the main PIR server): 0 at creation, +1 per {!update_cell}. *)
+val pir_epoch : t -> int
+
+(** Current encrypted block of cell [idq] (an immutable snapshot:
+    later updates replace, never mutate, the stored string). *)
+val cell_ciphertext : t -> int -> string
+
+(** Propagate cell [idq]'s current ciphertext into the owning shard of
+    a {!pir_shards} array (cell [i] → sub-server [i mod count], slot
+    [i / count]); returns the shard index touched.  Call after
+    {!update_cell} so shards track the main database. *)
+val update_shards : t -> Gr.Server.t array -> idq:int -> int
+
 (** Trusted introspection for tests and examples only. *)
 val trusted_cell_key : t -> int -> string
 

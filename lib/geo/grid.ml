@@ -68,6 +68,7 @@ type partition = {
   rmax : int;                       (* records per cell, uniform *)
   cells : Poi.t list array;         (* row-major; exactly rmax each *)
   real_counts : int array;          (* non-dummy count per cell *)
+  mutable next_dummy : int;         (* next free padding-record id *)
 }
 
 let q_lattice p = p.q
@@ -76,6 +77,12 @@ let rmax p = p.rmax
 let q_index (p : partition) (c : cell) : int = (c.row * p.q.cols) + c.col
 
 let cell_count p = p.q.rows * p.q.cols
+
+(* Inverse of [q_index]: the row/col cell of a flat IDQ. *)
+let cell_of_index (p : partition) (idx : int) : cell =
+  if idx < 0 || idx >= cell_count p then
+    invalid_arg "Grid.cell_of_index: out of range";
+  { row = idx / p.q.cols; col = idx mod p.q.cols }
 
 (* POIs of a private cell by flat index (the IDQ of the protocol). *)
 let cell_pois (p : partition) (idx : int) : Poi.t list =
@@ -127,7 +134,37 @@ let partition ?rmax ~area ~rows ~cols (pois : Poi.t list) : partition =
         List.rev_append bucket dummies)
       buckets
   in
-  { q; rmax; cells; real_counts }
+  { q; rmax; cells; real_counts; next_dummy = !next_dummy }
+
+(* Replace the real records of one cell — the streaming-update entry
+   point.  The uniform-occupancy invariant is the same privacy
+   requirement as at build time, so input dummies and rmax overflow are
+   hard errors, never silently fixed; the cell is re-padded to rmax
+   with fresh dummy ids drawn above every id the partition has used. *)
+let set_cell_pois (p : partition) (idx : int) (pois : Poi.t list) : unit =
+  if idx < 0 || idx >= cell_count p then
+    invalid_arg "Grid.set_cell_pois: out of range";
+  List.iter
+    (fun poi ->
+      if Poi.is_dummy poi then invalid_arg "Grid.set_cell_pois: dummy input";
+      if not (cell_equal (cell_of_coord p.q (Poi.position poi))
+                (cell_of_index p idx))
+      then invalid_arg "Grid.set_cell_pois: POI outside the cell")
+    pois;
+  let real = List.length pois in
+  if real > p.rmax then invalid_arg "Grid.set_cell_pois: cell exceeds rmax";
+  List.iter
+    (fun poi ->
+      if Poi.id poi >= p.next_dummy then p.next_dummy <- Poi.id poi + 1)
+    pois;
+  let dummies =
+    List.init (p.rmax - real) (fun _ ->
+        let d = Poi.dummy ~id:p.next_dummy in
+        p.next_dummy <- p.next_dummy + 1;
+        d)
+  in
+  p.cells.(idx) <- pois @ dummies;
+  p.real_counts.(idx) <- real
 
 (* ------------------------------------------------------------------ *)
 (* Public-to-private association (the key table's geometry)             *)

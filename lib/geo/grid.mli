@@ -39,8 +39,19 @@ val q_index : partition -> cell -> int
 
 val cell_count : partition -> int
 
+(** Inverse of {!q_index}: the row/col cell of a flat id.  Raises
+    [Invalid_argument] out of range. *)
+val cell_of_index : partition -> int -> cell
+
 (** Exactly [rmax] records, real ones first. *)
 val cell_pois : partition -> int -> Poi.t list
+
+(** Replace the real records of one cell and re-pad to [rmax] with
+    fresh dummy ids — the streaming-update entry point.  Raises
+    [Invalid_argument] when the index is out of range, a record is a
+    dummy or lies outside the cell, or the cell would exceed [rmax]
+    (uniform occupancy is a privacy invariant, same as at build). *)
+val set_cell_pois : partition -> int -> Poi.t list -> unit
 
 (** Non-dummy count of a cell. *)
 val real_count : partition -> int -> int

@@ -15,3 +15,25 @@ val load_channel : in_channel -> Poi.t list
 val to_line : Poi.t -> string
 
 val of_line : line:int -> string -> Poi.t
+
+(** {1 Append-only update logs}
+
+    An OSM-style diff feed: the versioned header {!log_header} followed
+    by update records, each a [cell TAB idx TAB count] line and then
+    [count] POI lines in the database format.  Records replay in file
+    order (later updates of the same cell win).  Dummies are filtered on
+    write; [load_log ~cells:n] additionally rejects cell indices outside
+    [0, n). *)
+
+type update = { cell : int; pois : Poi.t list }
+
+val log_header : string
+
+val save_log : string -> update list -> unit
+val load_log : ?cells:int -> string -> update list
+
+val save_log_channel : out_channel -> update list -> unit
+val load_log_channel : ?cells:int -> in_channel -> update list
+
+(** Append one record, creating the file (with header) if needed. *)
+val append_log : string -> update -> unit

@@ -75,6 +75,45 @@ let generate ?(seed = "lbq-synth") (spec : spec) : Poi.t list =
       Poi.make ~id ~position ~category
         ~name:(Printf.sprintf "%s-%04d" category id))
 
+(* A deterministic update stream over an existing partition: each step
+   picks a cell and replaces its real records with a fresh draw of
+   [0, rmax] POIs placed inside that cell — the churn a live OSM-style
+   feed would produce.  Ids count up from [base_id] so they never
+   collide with the build-time database (whose ids are list indices).
+   Points are inset from the cell edges so float rounding can never
+   re-bucket one into a neighbour. *)
+let churn ?(seed = "lbq-churn") ?(base_id = 1_000_000)
+    ?(categories = default_categories) ~(partition : Grid.partition)
+    ~steps () : Poi_file.update list =
+  if steps <= 0 then invalid_arg "Synth.churn: steps <= 0";
+  if Array.length categories = 0 then invalid_arg "Synth.churn: no categories";
+  let drbg = Drbg.create ~domain:"churn" ~seed () in
+  let q = Grid.q_lattice partition in
+  let cells = Grid.cell_count partition in
+  let rmax = Grid.rmax partition in
+  let next_id = ref base_id in
+  List.init steps (fun _ ->
+      let cell = Drbg.int drbg cells in
+      let rect = Grid.cell_rect q (Grid.cell_of_index partition cell) in
+      let minc = Coord.Rect.min rect in
+      let w = Coord.Rect.width rect and h = Coord.Rect.height rect in
+      let inset lo span u = lo +. (span *. (0.05 +. (0.9 *. u))) in
+      let count = Drbg.int drbg (rmax + 1) in
+      let pois =
+        List.init count (fun _ ->
+            let id = !next_id in
+            incr next_id;
+            let position =
+              Coord.make
+                ~x:(inset (Coord.x minc) w (uniform drbg))
+                ~y:(inset (Coord.y minc) h (uniform drbg))
+            in
+            let category = categories.(Drbg.int drbg (Array.length categories)) in
+            Poi.make ~id ~position ~category
+              ~name:(Printf.sprintf "%s-%04d" category id))
+      in
+      { Poi_file.cell; pois })
+
 (* A user trajectory: a random walk of [steps] positions inside the area,
    step length [stride] metres (for the repeated-query example). *)
 let walk ?(seed = "lbq-walk") ~area ~steps ~stride () : Coord.t list =

@@ -55,12 +55,27 @@ type ticket = {
   tenant : int;
   seq : int;
   request : request;
+  epoch : int;                     (* database epoch admitted under *)
   submitted_s : float;
   mutable reply : reply option;    (* written once, under the lock *)
   mutable latency_s : float;       (* submit -> completion, once done *)
 }
 
 type outcome = Accepted of ticket | Shed of { retry_after_s : float }
+
+(* One streaming-update batch in flight: [remaining] counts the shards
+   still owed their slice; the last one to land completes the batch and
+   flips the applied epoch. *)
+type update_batch = { mutable remaining : int; cells : int }
+
+(* One shard's slice of a batch: (slot-in-shard, new CRT block) pairs,
+   blocks captured at submit time so later batches cannot bleed in. *)
+type apply = { batch : update_batch; slices : (int * Z.t) list }
+
+(* A shard queue interleaves requests with update fences in admission
+   order: FIFO draining then guarantees each request is served from
+   exactly the database epoch it was admitted under. *)
+type job = Ticket of ticket | Apply of apply
 
 type t = {
   server : Server.t;
@@ -75,11 +90,14 @@ type t = {
   latency : Histogram.t;
   shard_latency : Histogram.t array;  (* per-shard slice of [latency] *)
   lock : Mutex.t;
+  update_lock : Mutex.t;           (* serializes submit_update producers *)
   work : Condition.t;
   done_c : Condition.t;
-  queues : ticket Queue.t array;   (* one bounded queue per shard *)
+  queues : job Queue.t array;      (* one bounded queue per shard *)
   completed : ticket Queue.t;      (* drained by [next_done] *)
   ewma_s : float array;            (* per-shard smoothed service time *)
+  mutable submitted_epoch : int;   (* +1 per submit_update, immediately *)
+  mutable applied_epoch : int;     (* +1 when a batch's last shard lands *)
   mutable stop : bool;
   mutable pool : Pool.t option;    (* None: pump mode (tests) *)
 }
@@ -106,13 +124,30 @@ let queue_length t d =
   if d < 0 || d >= Array.length t.queues then
     invalid_arg "Service.queue_length: shard out of range";
   Mutex.lock t.lock;
-  let n = Queue.length t.queues.(d) in
+  let n =
+    Queue.fold
+      (fun n -> function Ticket _ -> n + 1 | Apply _ -> n)
+      0 t.queues.(d)
+  in
   Mutex.unlock t.lock;
   n
+
+let epoch t =
+  Mutex.lock t.lock;
+  let e = t.submitted_epoch in
+  Mutex.unlock t.lock;
+  e
+
+let applied_epoch t =
+  Mutex.lock t.lock;
+  let e = t.applied_epoch in
+  Mutex.unlock t.lock;
+  e
 
 let ticket_tenant tk = tk.tenant
 let ticket_seq tk = tk.seq
 let ticket_request tk = tk.request
+let ticket_epoch tk = tk.epoch
 let ticket_reply tk = tk.reply
 let ticket_latency_s tk = tk.latency_s
 
@@ -133,16 +168,51 @@ let handle t ~tenant ~seq = function
    The byte-identity tests and the bench assertion compare against it. *)
 let respond_reference t ~tenant ~seq request = handle t ~tenant ~seq request
 
-(* Pop up to [limit] tickets (FIFO) from [q].  Caller holds the lock. *)
-let take_up_to limit (q : ticket Queue.t) : ticket array =
-  let rec go acc i =
+(* Drain discipline (caller holds the lock): any leading update fences,
+   then up to [limit] tickets, stopping at the next fence.  A fence
+   behind tickets thus applies strictly after the earlier-admitted
+   tickets are served and strictly before any later ones — the FIFO
+   order IS the epoch boundary. *)
+let take_dispatch limit (q : job Queue.t) : apply list * ticket array =
+  let rec applies acc =
+    match Queue.peek_opt q with
+    | Some (Apply _) ->
+      (match Queue.pop q with
+       | Apply a -> applies (a :: acc)
+       | Ticket _ -> assert false)
+    | _ -> List.rev acc
+  in
+  let rec tickets acc i =
     if i >= limit then List.rev acc
     else
-      match Queue.take_opt q with
-      | None -> List.rev acc
-      | Some tk -> go (tk :: acc) (i + 1)
+      match Queue.peek_opt q with
+      | Some (Ticket _) ->
+        (match Queue.pop q with
+         | Ticket tk -> tickets (tk :: acc) (i + 1)
+         | Apply _ -> assert false)
+      | _ -> List.rev acc
   in
-  Array.of_list (go [] 0)
+  let a = applies [] in
+  (a, Array.of_list (tickets [] 0))
+
+(* Land one shard's slice of an update batch on shard [d]'s sub-server.
+   Only queue [d]'s drainer calls this, between dispatches, so no
+   respond can observe a torn e_d.  The batch's last shard advances the
+   applied epoch and records the batch in the update counters. *)
+let apply_updates t d (a : apply) =
+  List.iter
+    (fun (slot, block) ->
+      Gr.Server.update_block t.shards.(d) ~idx:slot ~block)
+    a.slices;
+  Mutex.lock t.lock;
+  a.batch.remaining <- a.batch.remaining - 1;
+  let complete = a.batch.remaining = 0 in
+  if complete then t.applied_epoch <- t.applied_epoch + 1;
+  Mutex.unlock t.lock;
+  if complete then begin
+    Counters.update_applied t.metrics a.batch.cells;
+    Counters.epoch_bumps t.metrics 1
+  end
 
 (* Service one drained batch on shard [d] (worker domain or pump): all
    crypto outside the lock, then publish the replies and wake consumers.
@@ -216,11 +286,12 @@ let rec worker_loop t d =
   while Queue.is_empty t.queues.(d) && not t.stop do
     Condition.wait t.work t.lock
   done;
-  let tks = take_up_to t.batch t.queues.(d) in
+  let applies, tks = take_dispatch t.batch t.queues.(d) in
   Mutex.unlock t.lock;
-  if Array.length tks = 0 then ()
+  if applies = [] && Array.length tks = 0 then ()
     (* stop requested and this shard's backlog is drained *)
   else begin
+    List.iter (apply_updates t d) applies;
     complete_batch t d tks;
     worker_loop t d
   end
@@ -252,11 +323,14 @@ let create ?ot_seed ?metrics ?clock ?(queue_depth = 64) ?(batch = 1)
       latency = Histogram.create ();
       shard_latency = Array.init shards (fun _ -> Histogram.create ());
       lock = Mutex.create ();
+      update_lock = Mutex.create ();
       work = Condition.create ();
       done_c = Condition.create ();
       queues = Array.init shards (fun _ -> Queue.create ());
       completed = Queue.create ();
       ewma_s = Array.make shards 0.;
+      submitted_epoch = 0;
+      applied_epoch = 0;
       stop = false;
       pool = None;
     }
@@ -288,7 +362,11 @@ let submit t ~tenant ~seq request =
     Mutex.unlock t.lock;
     invalid_arg "Service.submit: after shutdown"
   end;
-  let backlog = Queue.length t.queues.(d) in
+  let backlog =
+    Queue.fold
+      (fun n -> function Ticket _ -> n + 1 | Apply _ -> n)
+      0 t.queues.(d)
+  in
   if backlog >= t.queue_depth then begin
     (* High watermark: shed with a hint — long enough for the present
        backlog to clear at the shard's smoothed service rate.  Before
@@ -306,14 +384,69 @@ let submit t ~tenant ~seq request =
   end
   else begin
     let tk =
-      { tenant; seq; request; submitted_s = t.clock (); reply = None;
-        latency_s = 0. }
+      { tenant; seq; request; epoch = t.submitted_epoch;
+        submitted_s = t.clock (); reply = None; latency_s = 0. }
     in
-    Queue.push tk t.queues.(d);
+    Queue.push (Ticket tk) t.queues.(d);
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
     Accepted tk
   end
+
+(* Stage a streaming-update batch: mutate the master database now
+   ({!Server.update_cell} — partition re-padded, block re-encrypted
+   under the same cell key, main CRT integer repaired through the
+   retained product tree), capture each cell's new block, then fence
+   every affected shard's queue with an Apply marker carrying its
+   slice.  FIFO draining turns the fence into the epoch contract:
+   requests admitted before this call are answered from the old
+   database, requests admitted after from the new one, and no request
+   ever observes a torn shard.  The submitted epoch advances
+   immediately (new admissions record it); the applied epoch when the
+   last affected shard lands its slice.  Producers serialize on
+   [update_lock].  Returns the new submitted epoch. *)
+let submit_update t (batch : (int * Lbq_geo.Poi.t list) list) : int =
+  if batch = [] then invalid_arg "Service.submit_update: empty batch";
+  Mutex.lock t.update_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.update_lock) @@ fun () ->
+  Mutex.lock t.lock;
+  let stopped = t.stop in
+  Mutex.unlock t.lock;
+  if stopped then invalid_arg "Service.submit_update: after shutdown";
+  let count = Array.length t.shards in
+  let staged =
+    List.map
+      (fun (idq, pois) ->
+        Server.update_cell t.server ~idq pois;
+        (idq, Z.of_bytes_be (Server.cell_ciphertext t.server idq)))
+      batch
+  in
+  let per_shard = Array.make count [] in
+  List.iter
+    (fun (idq, block) ->
+      let d = idq mod count in
+      per_shard.(d) <- ((idq / count, block) :: per_shard.(d)))
+    staged;
+  let affected =
+    Array.fold_left (fun n s -> if s = [] then n else n + 1) 0 per_shard
+  in
+  let b = { remaining = affected; cells = List.length batch } in
+  Mutex.lock t.lock;
+  if t.stop then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Service.submit_update: after shutdown"
+  end;
+  t.submitted_epoch <- t.submitted_epoch + 1;
+  Array.iteri
+    (fun d slices ->
+      if slices <> [] then
+        Queue.push (Apply { batch = b; slices = List.rev slices })
+          t.queues.(d))
+    per_shard;
+  Condition.broadcast t.work;
+  let e = t.submitted_epoch in
+  Mutex.unlock t.lock;
+  e
 
 (* Pump mode: drain every shard queue inline on the calling domain
    (deterministic single-threaded processing for the admission tests),
@@ -323,9 +456,10 @@ let pump t =
   let n = ref 0 in
   let rec drain d =
     Mutex.lock t.lock;
-    let tks = take_up_to t.batch t.queues.(d) in
+    let applies, tks = take_dispatch t.batch t.queues.(d) in
     Mutex.unlock t.lock;
-    if Array.length tks > 0 then begin
+    if applies <> [] || Array.length tks > 0 then begin
+      List.iter (apply_updates t d) applies;
       complete_batch t d tks;
       n := !n + Array.length tks;
       drain d

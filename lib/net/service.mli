@@ -115,9 +115,35 @@ val next_done : t -> ticket option
     deterministic no-domains mode for tests. *)
 val pump : t -> int
 
+(** {2 Streaming updates and epochs}
+
+    The database advances in epochs: epoch 0 is the build, and each
+    {!submit_update} batch bumps it by one.  A batch mutates the master
+    database at submit time and fences every affected shard's FIFO
+    queue, so requests admitted before the call are answered from the
+    old epoch and requests admitted after from the new one — each reply
+    decodes against exactly the database its ticket was admitted under,
+    never a torn shard. *)
+
+(** Apply one batch of cell replacements [(idq, pois)] (see
+    {!Lbq_core.Server.update_cell} for per-cell validation).  Returns
+    the new submitted epoch.  Raises [Invalid_argument] on an empty
+    batch, on per-cell validation failure, or after {!shutdown}. *)
+val submit_update : t -> (int * Lbq_geo.Poi.t list) list -> int
+
+(** Epoch of the latest submitted batch (what new admissions record). *)
+val epoch : t -> int
+
+(** Batches fully landed on their shards so far; equals {!epoch} once
+    the queues drain (e.g. after {!pump} or {!shutdown}). *)
+val applied_epoch : t -> int
+
 val ticket_tenant : ticket -> int
 val ticket_seq : ticket -> int
 val ticket_request : ticket -> request
+
+(** The database epoch this ticket was admitted (and served) under. *)
+val ticket_epoch : ticket -> int
 
 (** [None] until completion. *)
 val ticket_reply : ticket -> reply option

@@ -49,9 +49,24 @@ module Server : sig
   val e_bits : t -> int
   val plan : t -> plan
 
-  (** The sliding-window schedule of [e], recoded once at creation and
+  (** The sliding-window schedule of [e], recoded once per epoch and
       replayed by every {!respond}. *)
   val schedule : t -> Wexp.t
+
+  (** Update generation of this server's database: 0 at creation,
+      bumped by every {!update_block}.  Mirrors the keypool's
+      generation tickets — a response is always computed against one
+      epoch's [e], never a torn mix. *)
+  val epoch : t -> int
+
+  (** [update_block t ~idx ~block] replaces record [idx] with [block]
+      and re-derives [e] incrementally: a root-to-leaf fix-up of the
+      retained CRT product tree (O(log t) combines, Bezout inverses
+      cached at build — no inversions) plus a {!Lbq_bignum.Wexp.refresh}
+      of the cached schedule, instead of an O(t) full rebuild.  Bumps
+      {!epoch}.  Raises [Invalid_argument] when [idx] is out of range or
+      [block] exceeds slot [idx]'s prime-power capacity. *)
+  val update_block : t -> idx:int -> block:Z.t -> unit
 
   (** Exact modular multiplications one {!respond} performs on the
       default (Montgomery) engine: [Wexp.cost (schedule t) + 1] for the

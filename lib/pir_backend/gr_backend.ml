@@ -112,6 +112,22 @@ module Make (C : CONFIG) : B.S = struct
       (fun i ge -> { pad = (Z.numbits qs.(i).n + 7) / 8; ge })
       ges
 
+  (* Native incremental update: the new block becomes slot
+     [row * cols + col]'s record and {!Gr.Server.update_block} repairs
+     [e] through the retained CRT product tree — a root-to-leaf path
+     plus a schedule refresh, never a full re-encode.  The record value
+     equals what a fresh [encode] would compute, so responses are
+     byte-identical to a rebuilt server's. *)
+  let update =
+    Some
+      (fun (t : server) ~row ~col ~(block : string) ->
+        if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+          invalid_arg "Gr_backend.update: target out of range";
+        if String.length block <> t.block_len then
+          invalid_arg "Gr_backend.update: block length";
+        Gr.Server.update_block t.gr ~idx:((row * t.cols) + col)
+          ~block:(Z.of_bytes_be block))
+
   (* ---- wire: the (N, g) pair with explicit lengths, as in
      [Wire.pir_query_encode]; the response is the answer padded to the
      modulus width it was computed under, length-prefixed so the decoder

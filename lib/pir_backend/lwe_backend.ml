@@ -129,7 +129,12 @@ module Make (C : CONFIG) : B.S = struct
     mrows : int;                  (* rows * block_len *)
     m : Bytes.t;                  (* M, mrows x cols, byte entries *)
     a_seed : string;
-    hint : int array;             (* H = M * A, mrows x n, row-major *)
+    mutable hint : int array;     (* H = M * A, mrows x n, row-major *)
+    mutable hint_owned : bool;
+      (* false while [hint] may be shared through the encode-time cache;
+         [update] copies before its first in-place patch *)
+    mutable a : int array option;
+      (* expanded public matrix, cached on first update (cols x n) *)
     metrics : Counters.t;
   }
 
@@ -200,7 +205,8 @@ module Make (C : CONFIG) : B.S = struct
               done;
               !acc land q_mask))
     in
-    { rows; cols; block_len; mrows; m; a_seed; hint; metrics }
+    { rows; cols; block_len; mrows; m; a_seed; hint; hint_owned = false;
+      a = None; metrics }
 
   let rows (t : server) = t.rows
   let cols (t : server) = t.cols
@@ -427,6 +433,54 @@ module Make (C : CONFIG) : B.S = struct
         qs;
       out
     end
+
+  (* Incremental update: grid block (row, col) owns matrix column [col]
+     of the block_len matrix rows i = row * block_len + k.  Patching one
+     byte M[i][col] shifts hint row i by (new - old) * A[col], so the
+     whole fix-up is block_len dot-product-scale updates of n words each
+     — never the mrows * n * cols full product.  OCaml int arithmetic
+     wraps mod 2^63 and 2^34 | 2^63, so masking the (possibly negative)
+     adjusted word is a faithful mod-q reduction, and the patched hint
+     equals a fresh encode's word for word.  [A] is expanded once, on
+     the first update; the cached-hint array is copied before the first
+     in-place patch because the encode-time cache may share it with
+     other servers (and its key digests M, which just changed). *)
+  let update =
+    Some
+      (fun (t : server) ~row ~col ~(block : string) ->
+        if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+          invalid_arg "Lwe_backend.update: target out of range";
+        if String.length block <> t.block_len then
+          invalid_arg "Lwe_backend.update: block length";
+        let a =
+          match t.a with
+          | Some a -> a
+          | None ->
+            let a = expand_a ~a_seed:t.a_seed ~cols:t.cols in
+            t.a <- Some a;
+            a
+        in
+        if not t.hint_owned then begin
+          t.hint <- Array.copy t.hint;
+          t.hint_owned <- true
+        end;
+        let hint = t.hint in
+        for k = 0 to t.block_len - 1 do
+          let i = (row * t.block_len) + k in
+          let old = Char.code (Bytes.get t.m ((i * t.cols) + col)) in
+          let nv = Char.code block.[k] in
+          if nv <> old then begin
+            let d = nv - old in
+            Bytes.set t.m ((i * t.cols) + col) block.[k];
+            for k' = 0 to n - 1 do
+              let idx = (i * n) + k' in
+              Array.unsafe_set hint idx
+                ((Array.unsafe_get hint idx
+                  + (d * Array.unsafe_get a ((col * n) + k')))
+                 land q_mask)
+            done
+          end
+        done)
 
   (* ---- wire: a u32 count followed by count u64 torus words ---- *)
 

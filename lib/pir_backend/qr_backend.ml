@@ -30,7 +30,9 @@ module Make (C : CONFIG) : B.S = struct
     rows : int;
     cols : int;
     block_len : int;
-    mults_per_respond : int;
+    mutable mults_per_respond : int;
+      (* popcount-derived; patched by [update] so the oracle tracks the
+         live database *)
   }
 
   type client = {
@@ -130,6 +132,27 @@ module Make (C : CONFIG) : B.S = struct
       with Invalid_argument m -> B.malformed m
     in
     Array.mapi (fun i planes -> { el = qs.(i).el; planes }) planes_arr
+
+  let popcount_str s =
+    let acc = ref 0 in
+    String.iter (fun ch -> acc := !acc + popcount_byte.(Char.code ch)) s;
+    !acc
+
+  (* Incremental update: the QR server holds the raw blocks, so the swap
+     is one store ({!Qr_pir.Server.set_block}); the only derived state is
+     the popcount-based multiplication oracle, repaired from the old and
+     new blocks' bit counts alone. *)
+  let update =
+    Some
+      (fun (t : server) ~row ~col ~(block : string) ->
+        if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+          invalid_arg "Qr_backend.update: target out of range";
+        if String.length block <> t.block_len then
+          invalid_arg "Qr_backend.update: block length";
+        let old = Qr_pir.Server.block t.qr ~row ~col in
+        Qr_pir.Server.set_block t.qr ~row ~col block;
+        t.mults_per_respond <-
+          t.mults_per_respond + popcount_str old - popcount_str block)
 
   (* ---- wire: fixed-width elements under an (el, count) header ---- *)
 

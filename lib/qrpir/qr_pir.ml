@@ -148,6 +148,22 @@ module Server = struct
   let cols t = t.cols
   let block_len t = t.block_len
 
+  let block t ~row ~col =
+    if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+      invalid_arg "Qr_pir.Server.block: out of range";
+    t.blocks.(row).(col)
+
+  (* Streaming update: the server holds the raw blocks (no key material,
+     no derived encoding), so a single-block change is one array store.
+     Responses after the swap are byte-identical to a server rebuilt
+     from the updated matrix. *)
+  let set_block t ~row ~col (b : string) =
+    if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+      invalid_arg "Qr_pir.Server.set_block: out of range";
+    if String.length b <> t.block_len then
+      invalid_arg "Qr_pir.Server.set_block: block length";
+    t.blocks.(row).(col) <- b
+
   let bit t ~row ~col ~plane =
     let byte = plane / 8 and off = plane mod 8 in
     (Char.code t.blocks.(row).(col).[byte] lsr (7 - off)) land 1 = 1

@@ -56,6 +56,16 @@ module Server : sig
   val cols : t -> int
   val block_len : t -> int
 
+  (** The current block at [(row, col)].  Raises [Invalid_argument] out
+      of range. *)
+  val block : t -> row:int -> col:int -> string
+
+  (** Streaming update: replace the block at [(row, col)].  The server
+      holds the raw blocks, so this is one store; later responses are
+      byte-identical to a server rebuilt from the updated matrix.
+      Raises [Invalid_argument] on a bad target or block length. *)
+  val set_block : t -> row:int -> col:int -> string -> unit
+
   (** One bit-plane answer: a row-product per row, reduced through [ctx]. *)
   val respond_plane :
     t -> ctx:Lbq_bignum.Barrett.t -> Z.t array -> plane:int -> Z.t array

@@ -444,6 +444,61 @@ let props =
                 (M.decode client (M.response_decode rw))
             in
             qrt && rrt && ok));
+    (* The update capability's core contract: N random in-place block
+       updates leave the server byte-identical to a fresh encode over the
+       final grid under the same setup randomness — public bytes, response
+       wires, and decoded blocks all agree.  Encode randomness is
+       content-independent in every backend, so replaying the stream
+       against the patched grid is a true oracle. *)
+    prop "update: N patches = fresh encode, byte-identical" 10
+      (QCheck.make
+         QCheck.Gen.(triple nat (pair (int_range 1 4) (int_range 1 4))
+                       (int_range 0 12)))
+      (fun (seed, (rows, cols), n) ->
+        let len = 3 in
+        List.for_all
+          (fun (module M : B.S) ->
+            match M.update with
+            | None -> true
+            | Some patch ->
+              Fixture.with_metrics (fun metrics ->
+                  let blocks = oracle_blocks ~tag:seed ~rows ~cols ~len () in
+                  let enc_seed = Printf.sprintf "upd-prop-%s-%d" M.name seed in
+                  let fresh_rand () =
+                    Drbg.rand (Drbg.create ~seed:enc_seed ())
+                  in
+                  let live = M.encode ~metrics ~rand:(fresh_rand ()) blocks in
+                  let drbg =
+                    Drbg.create ~seed:(Printf.sprintf "upd-walk-%d" seed) ()
+                  in
+                  for _ = 1 to n do
+                    let row = Drbg.int drbg rows and col = Drbg.int drbg cols in
+                    let block =
+                      String.init len (fun _ -> Char.chr (Drbg.int drbg 256))
+                    in
+                    blocks.(row).(col) <- block;
+                    patch live ~row ~col ~block
+                  done;
+                  let oracle = M.encode ~metrics ~rand:(fresh_rand ()) blocks in
+                  let public_ok = String.equal (M.public live) (M.public oracle) in
+                  let qrand = rand_for ~name:(M.name ^ "-upd") ~rows ~cols ~len in
+                  let wires_ok =
+                    List.for_all
+                      (fun (row, col) ->
+                        let client, q =
+                          M.query ~metrics ~rand:qrand ~public:(M.public live)
+                            ~row ~col ()
+                        in
+                        let r_live = M.respond live q in
+                        let r_oracle = M.respond oracle q in
+                        String.equal (M.response_encode r_live)
+                          (M.response_encode r_oracle)
+                        && String.equal blocks.(row).(col)
+                             (M.decode client r_live))
+                      (query_plan ~rows ~cols ~count:3)
+                  in
+                  public_ok && wires_ok))
+          backends);
     prop "arena: all backends agree on random cells" 4
       (QCheck.make QCheck.Gen.(pair (int_range 1 3) (int_range 1 3)))
       (fun (rows, cols) ->

@@ -300,6 +300,139 @@ let test_poi_file_errors () =
               ~name:"a\tb")))
 
 (* ------------------------------------------------------------------ *)
+(* Poi_file update logs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "lbq" ".log" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let mk_update cell ids =
+  { Poi_file.cell;
+    pois =
+      List.map
+        (fun id ->
+          Poi.make ~id ~position:(Coord.make ~x:(float_of_int id) ~y:1.)
+            ~category:"cafe" ~name:(Printf.sprintf "u%d" id))
+        ids }
+
+let test_log_roundtrip () =
+  let updates = [ mk_update 3 [ 10; 11 ]; mk_update 0 []; mk_update 7 [ 12 ] ] in
+  with_temp_file (fun path ->
+      Poi_file.save_log path updates;
+      let loaded = Poi_file.load_log path in
+      Alcotest.(check int) "count" 3 (List.length loaded);
+      List.iter2
+        (fun (a : Poi_file.update) (b : Poi_file.update) ->
+          Alcotest.(check int) "cell" a.cell b.cell;
+          Alcotest.(check (list int)) "ids"
+            (List.map Poi.id a.pois) (List.map Poi.id b.pois))
+        updates loaded)
+
+let test_log_empty () =
+  with_temp_file (fun path ->
+      Poi_file.save_log path [];
+      (* Header-only file loads back as no updates. *)
+      Alcotest.(check int) "empty" 0 (List.length (Poi_file.load_log path)))
+
+let test_log_append () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      (* append_log creates the file and writes the header itself. *)
+      Poi_file.append_log path (mk_update 2 [ 20 ]);
+      Poi_file.append_log path (mk_update 5 [ 21; 22 ]);
+      (* Duplicate-cell updates are preserved in order: later wins on
+         replay, so both must survive the round-trip. *)
+      Poi_file.append_log path (mk_update 2 [ 23 ]);
+      let loaded = Poi_file.load_log path in
+      Alcotest.(check (list int)) "cells in order" [ 2; 5; 2 ]
+        (List.map (fun (u : Poi_file.update) -> u.cell) loaded);
+      Alcotest.(check (list int)) "last duplicate" [ 23 ]
+        (List.map Poi.id (List.nth loaded 2).Poi_file.pois))
+
+let test_log_dummies_filtered () =
+  with_temp_file (fun path ->
+      Poi_file.save_log path
+        [ { Poi_file.cell = 1;
+            pois = [ Poi.dummy ~id:99; (mk_update 0 [ 7 ]).Poi_file.pois |> List.hd ] } ];
+      match Poi_file.load_log path with
+      | [ u ] ->
+        Alcotest.(check (list int)) "dummy dropped" [ 7 ]
+          (List.map Poi.id u.Poi_file.pois)
+      | _ -> Alcotest.fail "expected one update")
+
+let test_log_errors () =
+  let check_fails ?cells content expected_line =
+    with_temp_file (fun path ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        match Poi_file.load_log ?cells path with
+        | _ -> Alcotest.failf "accepted %S" content
+        | exception Poi_file.Parse_error { line; _ } ->
+          Alcotest.(check int) "line" expected_line line)
+  in
+  let h = Poi_file.log_header in
+  (* Wrong header: the plain-database header is not a log. *)
+  check_fails (Poi_file.header ^ "\n") 1;
+  (* POI record with no enclosing cell update. *)
+  check_fails (h ^ "\n5\t1.0\t2.0\tatm\tfoo\n") 2;
+  (* Declared two POIs, gave one. *)
+  check_fails (h ^ "\ncell\t0\t2\n5\t1.0\t2.0\tatm\tfoo\n") 4;
+  (* More POIs than declared. *)
+  check_fails
+    (h ^ "\ncell\t0\t1\n5\t1.0\t2.0\tatm\tfoo\n6\t1.0\t2.0\tatm\tbar\n") 4;
+  (* Negative cell index. *)
+  check_fails (h ^ "\ncell\t-1\t0\n") 2;
+  (* Out-of-range cell once a grid size is supplied. *)
+  check_fails ~cells:4 (h ^ "\ncell\t4\t0\n") 2;
+  (* In range with the same content: accepted. *)
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc (h ^ "\ncell\t3\t0\n");
+      close_out oc;
+      Alcotest.(check int) "in range ok" 1
+        (List.length (Poi_file.load_log ~cells:4 path)))
+
+(* ------------------------------------------------------------------ *)
+(* Synth churn                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_churn_stream () =
+  let part = Grid.partition ~area ~rows:4 ~cols:4 some_pois in
+  let a = Synth.churn ~seed:"c" ~partition:part ~steps:25 () in
+  let b = Synth.churn ~seed:"c" ~partition:part ~steps:25 () in
+  Alcotest.(check int) "length" 25 (List.length a);
+  (* Deterministic in the seed. *)
+  List.iter2
+    (fun (u : Poi_file.update) (v : Poi_file.update) ->
+      Alcotest.(check int) "cell" u.cell v.cell;
+      Alcotest.(check (list int)) "ids"
+        (List.map Poi.id u.pois) (List.map Poi.id v.pois))
+    a b;
+  let q = Grid.q_lattice part in
+  let rmax = Grid.rmax part in
+  List.iter
+    (fun (u : Poi_file.update) ->
+      Alcotest.(check bool) "cell in range" true
+        (u.cell >= 0 && u.cell < Grid.cell_count part);
+      Alcotest.(check bool) "count <= rmax" true
+        (List.length u.pois <= rmax);
+      List.iter
+        (fun p ->
+          (* Every churned POI lands strictly inside its target cell and
+             carries a post-build id, so replay can never collide. *)
+          Alcotest.(check bool) "fresh id" true (Poi.id p >= 1_000_000);
+          Alcotest.(check int) "in its cell" u.cell
+            (Grid.q_index part (Grid.cell_of_coord q (Poi.position p))))
+        u.pois;
+      (* Replay applies cleanly onto the partition. *)
+      Grid.set_cell_pois part u.cell u.pois;
+      Alcotest.(check int) "cell repadded" rmax
+        (List.length (Grid.cell_pois part u.cell)))
+    a
+
+(* ------------------------------------------------------------------ *)
 (* Quadtree                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -479,6 +612,14 @@ let () =
          Alcotest.test_case "dummies and comments" `Quick
            test_poi_file_skips_dummies_and_comments;
          Alcotest.test_case "errors" `Quick test_poi_file_errors ]);
+      ("poi-log",
+       [ Alcotest.test_case "roundtrip" `Quick test_log_roundtrip;
+         Alcotest.test_case "empty log" `Quick test_log_empty;
+         Alcotest.test_case "append and duplicates" `Quick test_log_append;
+         Alcotest.test_case "dummies filtered" `Quick test_log_dummies_filtered;
+         Alcotest.test_case "errors" `Quick test_log_errors ]);
+      ("churn",
+       [ Alcotest.test_case "stream" `Quick test_churn_stream ]);
       ("quadtree",
        [ Alcotest.test_case "basics" `Quick test_quadtree_basics;
          Alcotest.test_case "matches nn oracle" `Quick test_quadtree_matches_nn;

@@ -146,6 +146,48 @@ let test_crt_paper_example () =
   Alcotest.check z "e = 17475" (Z.of_int 17475) (Crt.solve congruences);
   Alcotest.(check bool) "check" true (Crt.check (Z.of_int 17475) congruences)
 
+let test_crt_tree_update () =
+  (* The retained product tree: build once, then leaf fix-ups must track
+     a fresh one-shot solve exactly (the streaming-update invariant the
+     PIR server leans on). *)
+  let moduli = List.map Z.of_int [ 49; 121; 169; 289; 361; 23; 29 ] in
+  let congruences = List.mapi (fun i m -> (Z.of_int (i * 17), m)) moduli in
+  let tree = Crt.Tree.build congruences in
+  Alcotest.(check int) "size" 7 (Crt.Tree.size tree);
+  Alcotest.check z "build = solve" (Crt.solve congruences)
+    (Crt.Tree.solve tree);
+  Alcotest.check z "modulus = product"
+    (List.fold_left Z.mul Z.one moduli)
+    (Crt.Tree.modulus tree);
+  List.iteri
+    (fun i m ->
+      Alcotest.check z (Printf.sprintf "leaf modulus %d" i) m
+        (Crt.Tree.leaf_modulus tree i))
+    moduli;
+  let current = Array.of_list congruences in
+  List.iter
+    (fun (i, r) ->
+      let _, m = current.(i) in
+      current.(i) <- (Z.erem (Z.of_int r) m, m);
+      Crt.Tree.update_leaf tree i (Z.of_int r);
+      Alcotest.check z
+        (Printf.sprintf "update leaf %d <- %d" i r)
+        (Crt.solve (Array.to_list current))
+        (Crt.Tree.solve tree))
+    (* the 500s exceed their moduli: update_leaf must reduce *)
+    [ (0, 5); (6, 11); (3, 100); (0, 48); (2, 500); (5, 500); (1, 120) ];
+  Alcotest.check_raises "update out of range"
+    (Invalid_argument "Crt.Tree.update_leaf: index out of range") (fun () ->
+      Crt.Tree.update_leaf tree 7 Z.zero);
+  Alcotest.check_raises "leaf_modulus out of range"
+    (Invalid_argument "Crt.Tree.leaf_modulus: index out of range") (fun () ->
+      ignore (Crt.Tree.leaf_modulus tree (-1)));
+  (* degenerate: empty tree *)
+  let empty = Crt.Tree.build [] in
+  Alcotest.(check int) "empty size" 0 (Crt.Tree.size empty);
+  Alcotest.check z "empty solve" Z.zero (Crt.Tree.solve empty);
+  Alcotest.check z "empty modulus" Z.one (Crt.Tree.modulus empty)
+
 let test_crt_errors () =
   Alcotest.check_raises "non-coprime"
     (Invalid_argument "Crt.solve: moduli not coprime") (fun () ->
@@ -490,6 +532,32 @@ let props =
         let tree = Crt.solve congruences in
         Z.equal tree (Crt.solve_fold congruences)
         && Crt.check tree congruences);
+    prop "tree update_leaf = fresh solve" 60
+      (QCheck.make
+         QCheck.Gen.(
+           triple (int_range 0 1000000000) (int_range 0 40) (int_range 1 10)))
+      (fun (x, start, k) ->
+        let ps = Sieve.first_primes ~from:(3 + (2 * start)) k in
+        let moduli =
+          List.mapi (fun i p -> Z.pow (Z.of_int p) (1 + (i mod 3))) ps
+        in
+        let current =
+          Array.of_list
+            (List.map (fun m -> (Z.erem (Z.of_int x) m, m)) moduli)
+        in
+        let tree = Crt.Tree.build (Array.to_list current) in
+        let ok = ref (Z.equal (Crt.Tree.solve tree) (Crt.solve (Array.to_list current))) in
+        for step = 0 to 7 do
+          let i = (x + (step * 7)) mod k in
+          let _, m = current.(i) in
+          let r = Z.erem (Z.of_int (x + (step * 131))) m in
+          current.(i) <- (r, m);
+          Crt.Tree.update_leaf tree i r;
+          ok :=
+            !ok
+            && Z.equal (Crt.Tree.solve tree) (Crt.solve (Array.to_list current))
+        done;
+        !ok && Crt.check (Crt.Tree.solve tree) (Array.to_list current));
     prop "jacobi multiplicative in numerator" 200
       (QCheck.make
          QCheck.Gen.(triple (int_range 0 5000) (int_range 0 5000)
@@ -537,6 +605,7 @@ let () =
          Alcotest.test_case "schnorr modulus" `Quick test_schnorr_modulus ]);
       ("crt",
        [ Alcotest.test_case "paper example (App. B)" `Quick test_crt_paper_example;
+         Alcotest.test_case "retained tree updates" `Quick test_crt_tree_update;
          Alcotest.test_case "errors" `Quick test_crt_errors ]);
       ("jacobi",
        [ Alcotest.test_case "known values" `Quick test_jacobi_known;

@@ -485,6 +485,186 @@ let test_fleet_batched_matches_sequential () =
   Alcotest.(check int) "service histogram saw every exchange" 16
     (Histogram.count batched.Fleet.service_latency)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming updates: epoch fences                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A distinctive single-POI payload for cell [idq], placed at the cell
+   centre so replay is always in-range. *)
+let cell_payload part idq ~id =
+  let center =
+    Grid.cell_center (Grid.q_lattice part) (Grid.cell_of_index part idq)
+  in
+  [ Poi.make ~id ~position:center ~category:"update"
+      ~name:(Printf.sprintf "upd-%d" id) ]
+
+let decode_z st = function
+  | Service.Pir_reply (Ok z) -> Gr.Client.decode st z
+  | Service.Pir_reply (Error r) ->
+    Alcotest.failf "PIR rejected: %s" (Server.rejection_message r)
+  | Service.Ot_reply _ -> Alcotest.fail "wrong reply kind"
+
+let test_epoch_fences_pump () =
+  (* FIFO order is the epoch boundary: a ticket admitted before
+     submit_update decodes the old ciphertext, one admitted after
+     decodes the new one — even though both are served by the same
+     pump call, after the master has already moved on. *)
+  let server = Server.create params ~area pois in
+  let pub = Server.public_info server in
+  let part = Server.partition server in
+  let metrics = Counters.create () in
+  let shards = 3 in
+  let rand = Drbg.rand (Drbg.create ~seed:"epoch-queries" ()) in
+  let seq = ref 0 in
+  Service.with_service ~metrics ~queue_depth:64 ~spawn:false ~shards server
+    (fun svc ->
+      Alcotest.(check int) "initial epoch" 0 (Service.epoch svc);
+      Alcotest.(check int) "initial applied" 0 (Service.applied_epoch svc);
+      (* submit a PIR query for [idq]; expected plaintext is the master
+         ciphertext at admission time. *)
+      let submit_q idq =
+        let st, (n, g) =
+          Gr.Client.query ~plan:pub.Server.plan ~index:idq
+            ~q_bits:params.Params.q_bits rand
+        in
+        let expected = Z.of_bytes_be (Server.cell_ciphertext server idq) in
+        incr seq;
+        match
+          Service.submit svc ~tenant:0 ~seq:!seq
+            (Service.Pir_query
+               { shard = Server.shard_of_cell ~shards idq; n; g })
+        with
+        | Service.Accepted tk -> (st, tk, expected)
+        | Service.Shed _ -> Alcotest.fail "unexpected shed"
+      in
+      let idq = 4 in
+      let old_z = Z.of_bytes_be (Server.cell_ciphertext server idq) in
+      let before = submit_q idq in
+      let e1 =
+        Service.submit_update svc [ (idq, cell_payload part idq ~id:900_001) ]
+      in
+      Alcotest.(check int) "submit bumps epoch" 1 e1;
+      Alcotest.(check int) "epoch accessor" 1 (Service.epoch svc);
+      Alcotest.(check int) "not yet applied" 0 (Service.applied_epoch svc);
+      (* the master is re-encoded at submit time... *)
+      let new_z = Z.of_bytes_be (Server.cell_ciphertext server idq) in
+      Alcotest.(check bool) "ciphertext changed" false (Z.equal old_z new_z);
+      Alcotest.(check int) "master epoch" 1 (Server.pir_epoch server);
+      let after = submit_q idq in
+      (* ...but the in-queue ticket still decodes the old epoch. *)
+      ignore (Service.pump svc);
+      let st0, tk0, exp0 = before and st1, tk1, exp1 = after in
+      Alcotest.(check int) "admitted at epoch 0" 0 (Service.ticket_epoch tk0);
+      Alcotest.(check int) "admitted at epoch 1" 1 (Service.ticket_epoch tk1);
+      Alcotest.(check bool) "old ticket decodes epoch-0 data" true
+        (Z.equal exp0 old_z
+         && Z.equal (decode_z st0 (Service.await svc tk0)) old_z);
+      Alcotest.(check bool) "new ticket decodes epoch-1 data" true
+        (Z.equal exp1 new_z
+         && Z.equal (decode_z st1 (Service.await svc tk1)) new_z);
+      Alcotest.(check int) "fence applied" 1 (Service.applied_epoch svc);
+      (* a multi-cell batch spanning shards is one epoch bump *)
+      let cells = [ 0; 1; 5 ] in
+      let batch =
+        List.mapi
+          (fun i idq -> (idq, cell_payload part idq ~id:(900_100 + i)))
+          cells
+      in
+      Alcotest.(check int) "batch bumps once" 2
+        (Service.submit_update svc batch);
+      ignore (Service.pump svc);
+      Alcotest.(check int) "batch applied" 2 (Service.applied_epoch svc);
+      (* replay each updated cell end to end *)
+      List.iter
+        (fun idq ->
+          let st, tk, expected = submit_q idq in
+          ignore (Service.pump svc);
+          Alcotest.(check bool)
+            (Printf.sprintf "cell %d serves updated data" idq)
+            true
+            (Z.equal (decode_z st (Service.await svc tk)) expected))
+        cells;
+      (* validation *)
+      (match Service.submit_update svc [] with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.fail "empty batch must raise");
+      (match
+         Service.submit_update svc
+           [ (Grid.cell_count part, cell_payload part 0 ~id:1) ]
+       with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.fail "out-of-range cell must raise"));
+  let s = Counters.snapshot metrics in
+  Alcotest.(check int) "epoch_bumps = batches" 2 s.Counters.epoch_bumps;
+  Alcotest.(check int) "update_applied = cells" 4 s.Counters.update_applied
+
+let test_epoch_identity_concurrent () =
+  (* Concurrent serving under churn: queries interleaved with update
+     batches on a 3-domain service each decode exactly the database
+     snapshot of their admission epoch, and every batch lands. *)
+  let server = Server.create params ~area pois in
+  let pub = Server.public_info server in
+  let part = Server.partition server in
+  let metrics = Counters.create () in
+  let shards = 2 in
+  let rand = Drbg.rand (Drbg.create ~seed:"epoch-concurrent" ()) in
+  let seq = ref 0 in
+  let batches = 3 in
+  Service.with_service ~metrics ~queue_depth:64 ~spawn:true ~shards server
+    (fun svc ->
+      let submit_q idq =
+        let st, (n, g) =
+          Gr.Client.query ~plan:pub.Server.plan ~index:idq
+            ~q_bits:params.Params.q_bits rand
+        in
+        let expected = Z.of_bytes_be (Server.cell_ciphertext server idq) in
+        incr seq;
+        match
+          Service.submit svc ~tenant:(!seq mod 4) ~seq:!seq
+            (Service.Pir_query
+               { shard = Server.shard_of_cell ~shards idq; n; g })
+        with
+        | Service.Accepted tk -> (idq, st, tk, expected)
+        | Service.Shed _ -> Alcotest.fail "unexpected shed"
+      in
+      let cells = Params.private_cells params in
+      let pending = ref [] in
+      for b = 1 to batches do
+        (* queries admitted under epoch b-1 *)
+        for k = 0 to 3 do
+          pending := submit_q ((b + (k * 2)) mod cells) :: !pending
+        done;
+        let updates =
+          List.map
+            (fun idq ->
+              (idq, cell_payload part idq ~id:((b * 1000) + idq)))
+            [ b mod cells; (b + 3) mod cells ]
+        in
+        Alcotest.(check int) "epoch advances" b
+          (Service.submit_update svc updates)
+      done;
+      (* queries admitted under the final epoch, one per shard: awaiting
+         them drains every fence ahead of them *)
+      for d = 0 to shards - 1 do
+        pending := submit_q d :: !pending
+      done;
+      List.iter
+        (fun (idq, st, tk, expected) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cell %d @ epoch %d decodes its snapshot" idq
+               (Service.ticket_epoch tk))
+            true
+            (Z.equal (decode_z st (Service.await svc tk)) expected))
+        (List.rev !pending);
+      Alcotest.(check int) "all batches applied" batches
+        (Service.applied_epoch svc);
+      Alcotest.(check int) "epoch = applied" (Service.epoch svc)
+        (Service.applied_epoch svc));
+  let s = Counters.snapshot metrics in
+  Alcotest.(check int) "epoch_bumps = batches" batches s.Counters.epoch_bumps;
+  Alcotest.(check int) "update_applied = cells" (2 * batches)
+    s.Counters.update_applied
+
 let test_fleet_under_chaos () =
   (* Packet loss composes: with per-tenant chaos at a heavy fault rate,
      the fleet still completes rounds, and every re-attempt is accounted
@@ -535,6 +715,11 @@ let () =
            test_fleet_concurrent_matches_sequential;
          Alcotest.test_case "fleet batched = sequential reference" `Quick
            test_fleet_batched_matches_sequential ]);
+      ("epochs",
+       [ Alcotest.test_case "FIFO fences split old/new data" `Quick
+           test_epoch_fences_pump;
+         Alcotest.test_case "concurrent churn decodes per-epoch snapshots"
+           `Quick test_epoch_identity_concurrent ]);
       ("chaos",
        [ Alcotest.test_case "rounds complete under packet loss" `Quick
            test_fleet_under_chaos ]) ]
